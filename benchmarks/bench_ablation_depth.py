@@ -1,0 +1,56 @@
+"""Ablation A2 — equation-combination depth.
+
+``Get_Rec_Equ`` enumerates XOR combinations of up to ``depth`` original
+calculation equations.  Depth 1 reproduces the classic row/diagonal
+recovery; this bench measures what higher depths buy (scheme quality) and
+cost (enumeration + search time) across regular and irregular codes.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.codes import Liber8tionCode, make_code
+from repro.equations import get_recovery_equations
+from repro.recovery import u_scheme
+
+CODES = {
+    "rdp@10": lambda: make_code("rdp", 10),
+    "liber8tion@10": lambda: Liber8tionCode(8),
+    "liberation@9": lambda: make_code("liberation", 9),
+}
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+@pytest.mark.parametrize("code_name", list(CODES))
+def test_depth_cost(code_name, depth, benchmark):
+    code = CODES[code_name]()
+    scheme = benchmark(u_scheme, code, 0, depth=depth)
+    assert scheme.exact
+
+
+def test_depth_quality_table(benchmark, results_dir):
+    benchmark.pedantic(lambda: u_scheme(CODES["rdp@10"](), 0, depth=1),
+                       rounds=1, iterations=1)
+    lines = [
+        "Ablation: equation depth vs scheme quality (U-scheme, disk 0)",
+        f"{'code':14s} {'depth':>5s} {'options/slot':>12s} "
+        f"{'max_load':>8s} {'total':>6s}",
+    ]
+    for name, factory in CODES.items():
+        code = factory()
+        base = None
+        for depth in (1, 2, 3):
+            rec = get_recovery_equations(
+                code, code.layout.disk_mask(0), depth=depth, ensure_complete=True
+            )
+            n_opts = sum(len(o) for o in rec.options) / rec.n_failed
+            scheme = u_scheme(code, 0, depth=depth)
+            if depth == 1:
+                base = scheme
+            # more depth can only improve or preserve the optimum
+            assert scheme.max_load <= base.max_load
+            lines.append(
+                f"{name:14s} {depth:5d} {n_opts:12.1f} "
+                f"{scheme.max_load:8d} {scheme.total_reads:6d}"
+            )
+    emit(results_dir, "ablation_depth", "\n".join(lines))

@@ -1,0 +1,51 @@
+"""Ablation A3 — greedy one-pass generation vs the exact search.
+
+The exact generators pay an exponential worst case for guaranteed optima.
+This bench quantifies the trade: greedy scheme quality (max load / total
+reads) and speed across the figure families at a mid-to-large size.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.codes import PAPER_FIGURE_FAMILIES, make_code
+from repro.recovery import greedy_scheme, u_scheme
+
+N_DISKS = 13
+
+
+@pytest.mark.parametrize("mode", ["exact", "greedy"])
+def test_generation_speed(mode, benchmark):
+    code = make_code("rdp", N_DISKS)
+    if mode == "exact":
+        scheme = benchmark(u_scheme, code, 0, depth=1)
+        assert scheme.exact
+    else:
+        scheme = benchmark(greedy_scheme, code, 0, algorithm="u")
+        assert not scheme.exact
+
+
+def test_quality_across_families(benchmark, results_dir):
+    def collect():
+        rows = []
+        for family in PAPER_FIGURE_FAMILIES:
+            code = make_code(family, N_DISKS)
+            exact = u_scheme(code, 0, depth=1)
+            approx = greedy_scheme(code, 0, algorithm="u")
+            rows.append((family, exact, approx))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [
+        f"Greedy vs exact U-scheme, disk 0, {N_DISKS} disks",
+        f"{'family':12s} {'exact(max/tot)':>15s} {'greedy(max/tot)':>16s} "
+        f"{'states exact':>13s} {'greedy':>7s}",
+    ]
+    for family, exact, approx in rows:
+        lines.append(
+            f"{family:12s} {exact.max_load:8d}/{exact.total_reads:<6d} "
+            f"{approx.max_load:9d}/{approx.total_reads:<6d} "
+            f"{exact.expanded_states:13d} {approx.expanded_states:7d}"
+        )
+        assert approx.max_load <= exact.max_load + 2
+    emit(results_dir, "ablation_greedy", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Experiments E3 + E5 — paper Figure 3 (a-e) and the Sec. V-A aggregates.
+
+For each of the five code families, every disk count 7..16 and every data
+disk failed in turn: the average number of parallel read accesses (max
+per-disk load) of Khan / C / U schemes.  The summary test aggregates the
+improvements (paper: C up to 22.9% / avg 9.6%; U up to 25.0% / avg 16.4%).
+
+The timed kernel replays the series from the warm scheme cache; the first
+session run performs the actual searches and populates the JSON cache.
+"""
+
+import pytest
+from conftest import DISK_RANGE, emit
+
+from repro.analysis import (
+    aggregate_improvements,
+    figure3_series,
+    render_improvement_summary,
+    render_series_table,
+)
+from repro.codes import PAPER_FIGURE_FAMILIES
+
+_collected = {}
+
+
+@pytest.mark.parametrize("family", PAPER_FIGURE_FAMILIES)
+def test_fig3_series(family, benchmark, scheme_cache, results_dir):
+    series = benchmark(figure3_series, family, DISK_RANGE, cache=scheme_cache)
+    _collected[family] = series
+
+    for k, c, u in zip(series["khan"], series["c"], series["u"]):
+        assert u <= c <= k + 1e-9, "paper ordering violated"
+
+    table = render_series_table(
+        f"Figure 3 ({family}): average number of parallel read accesses",
+        "disks",
+        list(DISK_RANGE),
+        series,
+    )
+    emit(results_dir, f"fig3_{family}", table)
+
+
+def test_fig3_aggregate_improvements(benchmark, scheme_cache, results_dir):
+    """Sec. V-A headline numbers over the full Figure-3 grid."""
+    for family in PAPER_FIGURE_FAMILIES:
+        _collected.setdefault(
+            family, figure3_series(family, DISK_RANGE, cache=scheme_cache)
+        )
+    agg = benchmark(aggregate_improvements, _collected)
+    text = render_improvement_summary(
+        agg, f"parallel read accesses, disks {DISK_RANGE[0]}-{DISK_RANGE[-1]}"
+    )
+    text += (
+        "\npaper (Sec. V-A): c-scheme up to 22.9%, average 9.6%; "
+        "u-scheme up to 25.0%, average 16.4%"
+    )
+    emit(results_dir, "fig3_aggregate", text)
+
+    assert agg["u"]["mean_percent"] >= agg["c"]["mean_percent"] - 1e-9
+    assert agg["u"]["max_percent"] > 10.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Beyond single-disk failure (paper Sec. V-D) with the STAR code.
+
+The U-Algorithm's failed-element set is arbitrary: bursts of two whole
+disks, a disk plus latent sector errors, scattered undetected errors.  This
+example runs all of them on a triple-fault-tolerant STAR array, validates
+the recovered bytes, and shows the load-balance gain over Khan's
+minimum-read schemes in each situation.
+
+Run:  python examples/multi_failure_star.py
+"""
+
+from repro import make_code, verify_scheme_on_random_data
+from repro.recovery import recover_failure
+
+
+def main() -> None:
+    code = make_code("star", 10)  # 7 data + 3 parity, p = 7
+    lay = code.layout
+    print(code.describe(), "\n")
+
+    situations = {
+        "two whole disks": lay.disk_mask(0) | lay.disk_mask(3),
+        "three whole disks": lay.disk_mask(0) | lay.disk_mask(1) | lay.disk_mask(5),
+        "disk + latent sectors": lay.disk_mask(2)
+        | lay.element_mask([(4, 1), (6, 3)]),
+        "scattered sector errors": lay.element_mask(
+            [(0, 0), (1, 2), (3, 4), (5, 1), (6, 5)]
+        ),
+    }
+
+    print(f"{'situation':26s} {'failed':>6s} {'khan max/total':>15s} "
+          f"{'u max/total':>12s}")
+    for name, mask in situations.items():
+        khan = recover_failure(code, mask, algorithm="khan")
+        u = recover_failure(code, mask, algorithm="u")
+        for scheme in (khan, u):
+            scheme.validate(code)
+            assert verify_scheme_on_random_data(code, scheme, seed=13), name
+        print(f"{name:26s} {mask.bit_count():6d} "
+              f"{khan.max_load:7d}/{khan.total_reads:<6d} "
+              f"{u.max_load:5d}/{u.total_reads:<6d}")
+
+    print("\nall situations recovered byte-exactly; "
+          "U never loads a disk harder than Khan")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""On-line recovery under user load (event-driven simulation).
+
+Storage systems recover while still serving applications (Holland [5],
+paper Sec. I).  This example replays identical Poisson user traffic against
+the same failed RDP array recovering with Khan's scheme vs. the U-Scheme,
+and reports both recovery completion time and user latency — showing that
+load-balanced recovery reduces the window of vulnerability *and* treats the
+foreground workload more gently.
+
+Run:  python examples/online_recovery.py
+"""
+
+from repro import make_code
+from repro.disksim import EventDrivenArray, PoissonWorkload
+from repro.recovery import khan_scheme, u_scheme
+
+
+def main() -> None:
+    code = make_code("rdp", 10)  # 8 data + 2 parity
+    lay = code.layout
+    failed_disk = 0
+    stripes = 40
+
+    workload = PoissonWorkload(
+        rate_per_s=8.0, n_disks=lay.n_disks, k_rows=lay.k_rows, seed=2013
+    )
+    requests = workload.generate(duration_s=600.0)
+
+    print(code.describe())
+    print(f"user traffic: {len(requests)} Poisson reads @8/s; "
+          f"recovering {stripes} stripes of disk {failed_disk}\n")
+
+    print(f"{'scheme':6s} {'recovery_done':>14s} {'user_mean_lat':>14s} "
+          f"{'user_p95_lat':>13s}")
+    results = {}
+    for name, fn in (("khan", khan_scheme), ("u", u_scheme)):
+        scheme = fn(code, failed_disk, depth=1)
+        array = EventDrivenArray(lay.n_disks)
+        res = array.run_online_recovery(
+            code, [scheme], stripes=stripes, user_requests=list(requests)
+        )
+        results[name] = res
+        print(f"{name:6s} {res.recovery_finish_s:12.1f} s "
+              f"{res.user_mean_latency_s * 1000:11.1f} ms "
+              f"{res.user_p95_latency_s * 1000:10.1f} ms")
+
+    gain = 1.0 - results["u"].recovery_finish_s / results["khan"].recovery_finish_s
+    print(f"\nU-scheme shortens the window of vulnerability by {gain*100:.1f}% "
+          "under this workload")
+
+
+if __name__ == "__main__":
+    main()

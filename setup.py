@@ -1,0 +1,27 @@
+"""Packaging for repro.
+
+Deliberately setup.py-based (no pyproject.toml): the target environment is
+offline, and a pyproject-triggered PEP-517 build isolation would try to
+download setuptools.  The legacy `setup.py develop` path used by
+`pip install -e .` needs nothing from the network.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Load-balanced single-disk-failure recovery schemes for any erasure "
+        "code (reproduction of Luo & Shu, ICPP 2013)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-recovery=repro.cli:main"]},
+)

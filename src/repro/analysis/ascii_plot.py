@@ -1,0 +1,70 @@
+"""Terminal line charts for figure series.
+
+The paper's figures are line charts (disks on x, metric on y, one line per
+scheme).  For a terminal-first reproduction we render them as ASCII plots
+so ``repro-recovery figure3`` and the benches can show the *shape* — the
+crossovers and the widening gap — not just tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: plot glyph per series, in series order
+GLYPHS = "ox*+#@"
+
+
+def ascii_plot(
+    xs: Sequence,
+    series: Dict[str, List[float]],
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Each series gets a glyph; collisions render the later glyph.  The y-axis
+    is linear between the global min and max.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    n = len(xs)
+    for name, vals in series.items():
+        if len(vals) != n:
+            raise ValueError(f"series {name!r} length mismatch")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+
+    all_vals = [v for vals in series.values() for v in vals]
+    lo, hi = min(all_vals), max(all_vals)
+    span = hi - lo or 1.0
+
+    # grid[row][col], row 0 = top
+    width = n * 4
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        for i, v in enumerate(vals):
+            row = height - 1 - int(round((v - lo) / span * (height - 1)))
+            col = i * 4 + 1
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:8.2f} |"
+        elif r == height - 1:
+            label = f"{lo:8.2f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_ticks = "          " + "".join(f"{str(x):<4s}" for x in xs)
+    lines.append(x_ticks + (f"  ({y_label})" if y_label else ""))
+    return "\n".join(lines)

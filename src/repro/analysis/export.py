@@ -1,0 +1,64 @@
+"""CSV export of figure series, for external plotting tools."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def series_to_csv(
+    xs: Sequence,
+    series: Dict[str, List[float]],
+    x_label: str = "disks",
+) -> str:
+    """Render series as CSV text (one row per x, one column per series)."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([x_label] + names)
+    for i, x in enumerate(xs):
+        writer.writerow([x] + [series[n][i] for n in names])
+    return buf.getvalue()
+
+
+def write_series_csv(
+    path: Union[str, Path],
+    xs: Sequence,
+    series: Dict[str, List[float]],
+    x_label: str = "disks",
+) -> Path:
+    """Write series to a CSV file; returns the path."""
+    path = Path(path)
+    path.write_text(series_to_csv(xs, series, x_label))
+    return path
+
+
+def read_series_csv(path: Union[str, Path]):
+    """Read back a CSV produced by :func:`write_series_csv`.
+
+    Returns ``(x_label, xs, series)`` with numeric values parsed.
+    """
+    rows = list(csv.reader(Path(path).read_text().splitlines()))
+    if not rows:
+        raise ValueError("empty CSV")
+    header = rows[0]
+    x_label, names = header[0], header[1:]
+    xs = []
+    series: Dict[str, List[float]] = {n: [] for n in names}
+    for row in rows[1:]:
+        xs.append(_num(row[0]))
+        for n, v in zip(names, row[1:]):
+            series[n].append(float(v))
+    return x_label, xs, series
+
+
+def _num(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)

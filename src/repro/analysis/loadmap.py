@@ -1,0 +1,61 @@
+"""Load-distribution matrices: who reads how much when disk d fails.
+
+The paper's Figures 1 and 2 show one failure situation at a time; the load
+map aggregates all of them into a matrix ``M[f][s]`` = elements read from
+surviving disk ``s`` when disk ``f`` fails — the full picture of a scheme
+family's balance, rendered as an aligned table or fed to further analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.codes.base import ErasureCode
+from repro.recovery.planner import RecoveryPlanner
+from repro.recovery.scheme import RecoveryScheme
+
+
+def load_matrix(
+    code: ErasureCode, schemes: Sequence[RecoveryScheme]
+) -> List[List[int]]:
+    """``matrix[i][d]`` = reads on disk ``d`` for the i-th scheme."""
+    return [scheme.loads for scheme in schemes]
+
+
+def load_matrix_for_algorithm(
+    code: ErasureCode, algorithm: str = "u", depth: int = 1
+) -> List[List[int]]:
+    """Load matrix over every data-disk failure for one algorithm."""
+    planner = RecoveryPlanner(code, algorithm=algorithm, depth=depth)
+    return load_matrix(code, planner.all_data_disk_schemes())
+
+
+def render_load_map(
+    code: ErasureCode,
+    matrix: Sequence[Sequence[int]],
+    title: str = "read load per surviving disk",
+) -> str:
+    """Aligned table: rows = failed disk, columns = surviving disks."""
+    n = code.layout.n_disks
+    lines = [title]
+    header = "failed  " + " ".join(f"d{d:<3d}" for d in range(n)) + "  max total"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for f, loads in enumerate(matrix):
+        cells = " ".join(
+            ("  - " if d == f and load == 0 else f"{load:3d} ")
+            for d, load in enumerate(loads)
+        )
+        lines.append(f"d{f:<5d} {cells}  {max(loads):3d} {sum(loads):5d}")
+    return "\n".join(lines)
+
+
+def balance_summary(matrix: Sequence[Sequence[int]]) -> Dict[str, float]:
+    """Aggregate balance statistics of a load matrix."""
+    maxima = [max(row) for row in matrix]
+    totals = [sum(row) for row in matrix]
+    return {
+        "mean_max_load": sum(maxima) / len(maxima),
+        "worst_max_load": float(max(maxima)),
+        "mean_total": sum(totals) / len(totals),
+    }

@@ -1,0 +1,52 @@
+"""Scheme-quality metrics (paper Sec. V-A)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.recovery.scheme import RecoveryScheme
+
+
+def parallel_read_accesses(scheme: RecoveryScheme) -> int:
+    """Number of parallel read rounds = elements on the most loaded disk.
+
+    With parallel I/O one round reads at most one element per disk, so the
+    most loaded disk's element count is the stripe's read-round count — the
+    y-axis of the paper's Figure 3.
+    """
+    return scheme.max_load
+
+
+def average_parallel_read_accesses(schemes: Iterable[RecoveryScheme]) -> float:
+    """Mean over failure situations (each data disk failed in turn)."""
+    schemes = list(schemes)
+    if not schemes:
+        raise ValueError("no schemes given")
+    return sum(s.max_load for s in schemes) / len(schemes)
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative reduction of ``improved`` vs ``baseline`` in percent.
+
+    Positive when ``improved`` is smaller (better); the convention of the
+    paper's "reduce the recovery time by X%" statements.
+    """
+    if baseline == 0:
+        raise ValueError("baseline is zero")
+    return (baseline - improved) / baseline * 100.0
+
+
+def load_balance_ratio(scheme: RecoveryScheme) -> float:
+    """Mean load divided by max load over the disks actually read.
+
+    1.0 means perfectly balanced; small values mean a single hot disk.
+    """
+    loads = [x for x in scheme.loads if x > 0]
+    if not loads:
+        return 1.0
+    return (sum(loads) / len(loads)) / max(loads)
+
+
+def total_read_elements(schemes: Sequence[RecoveryScheme]) -> int:
+    """Summed read volume across failure situations."""
+    return sum(s.total_reads for s in schemes)

@@ -1,0 +1,37 @@
+"""Stack methodology helpers (Hafner et al. [15], paper Sec. V/VI-A).
+
+A *stack* contains every rotation of the logical-to-physical disk mapping,
+so each physical disk plays every logical role exactly once per stack.  Two
+consequences the paper relies on:
+
+* averaging a metric over all logical failure situations equals the expected
+  metric when a uniformly-random physical disk fails;
+* a real disk failure touches all logical situations with equal weight, so
+  measured recovery speed is independent of which physical disk died.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def rotate_disk(logical_disk: int, rotation: int, n_disks: int) -> int:
+    """Physical disk hosting ``logical_disk`` under a given rotation."""
+    if not 0 <= logical_disk < n_disks:
+        raise ValueError(f"logical disk {logical_disk} out of range")
+    return (logical_disk + rotation) % n_disks
+
+
+def logical_role(physical_disk: int, rotation: int, n_disks: int) -> int:
+    """Logical role played by ``physical_disk`` under a given rotation."""
+    if not 0 <= physical_disk < n_disks:
+        raise ValueError(f"physical disk {physical_disk} out of range")
+    return (physical_disk - rotation) % n_disks
+
+
+def rotation_schedule(n_disks: int) -> List[List[int]]:
+    """``schedule[r][logical] = physical`` for every rotation of one stack."""
+    return [
+        [rotate_disk(l, r, n_disks) for l in range(n_disks)]
+        for r in range(n_disks)
+    ]

@@ -1,0 +1,46 @@
+"""Plain-text rendering of figure series, for benches and the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, List[float]],
+    precision: int = 2,
+) -> str:
+    """Aligned table: one row per x value, one column per series."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, expected {len(xs)}"
+            )
+    col_w = max(10, *(len(n) + 2 for n in names))
+    x_w = max(len(x_label) + 2, 8)
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:<{x_w}}" + "".join(f"{n:>{col_w}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):<{x_w}}"
+        for n in names:
+            row += f"{series[n][i]:>{col_w}.{precision}f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_improvement_summary(
+    aggregates: Dict[str, Dict[str, float]], context: str
+) -> str:
+    """One line per algorithm: max / mean improvement vs. the baseline."""
+    lines = [f"improvement vs. khan ({context}):"]
+    for alg, stats in aggregates.items():
+        lines.append(
+            f"  {alg}-scheme: up to {stats['max_percent']:.1f}%, "
+            f"average {stats['mean_percent']:.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Command-line interface: ``repro-recovery``.
+
+Subcommands
+-----------
+``families``
+    List supported code families.
+``scheme``
+    Generate and display a recovery scheme for a failed disk.
+``verify``
+    Byte-exact round trip: encode random data, fail a disk, recover,
+    compare.
+``simulate``
+    Recovery speed on the simulated SAS array for all algorithms.
+``figure3`` / ``figure4``
+    Regenerate a paper figure's series as a text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    SchemeCache,
+    ascii_plot,
+    figure3_series,
+    figure4_series,
+    render_series_table,
+)
+from repro.codec import verify_scheme_on_random_data
+from repro.codes import list_families, make_code
+from repro.disksim.recovery_sim import simulate_stack_recovery
+from repro.recovery import RecoveryPlanner, scheme_for_disk
+
+
+def _add_code_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--family", default="rdp", choices=list_families())
+    p.add_argument("--disks", type=int, default=8, help="total disk count")
+
+
+def _cmd_families(_args) -> int:
+    for name in list_families():
+        for n_disks in (8, 10, 7):  # xcode needs a prime width
+            try:
+                code = make_code(name, n_disks)
+                break
+            except ValueError:
+                continue
+        else:
+            print(f"{name:12s} (no small instance)")
+            continue
+        print(f"{name:12s} {code.describe()}")
+    return 0
+
+
+def _cmd_scheme(args) -> int:
+    code = make_code(args.family, args.disks)
+    scheme = scheme_for_disk(
+        code, args.failed_disk, algorithm=args.algorithm, depth=args.depth
+    ) if args.algorithm != "naive" else scheme_for_disk(
+        code, args.failed_disk, algorithm="naive"
+    )
+    print(code.describe())
+    print(scheme.summary())
+    print(scheme.render())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    code = make_code(args.family, args.disks)
+    failures = 0
+    for alg in ("naive", "khan", "c", "u"):
+        for disk in range(code.layout.n_disks):
+            try:
+                scheme = scheme_for_disk(code, disk, algorithm=alg)
+            except ValueError:
+                continue  # e.g. no naive scheme for dense codes
+            ok = verify_scheme_on_random_data(code, scheme, seed=disk)
+            if not ok:
+                failures += 1
+                print(f"FAIL {alg} disk {disk}")
+    print(
+        f"{args.family}@{args.disks}: "
+        + ("all recoveries byte-exact" if not failures else f"{failures} failures")
+    )
+    return 1 if failures else 0
+
+
+def _cmd_simulate(args) -> int:
+    code = make_code(args.family, args.disks)
+    print(code.describe())
+    for alg in ("naive", "khan", "c", "u"):
+        try:
+            planner = RecoveryPlanner(code, algorithm=alg, depth=args.depth)
+            schemes = planner.all_data_disk_schemes()
+        except ValueError:
+            print(f"  {alg:5s}: n/a")
+            continue
+        result = simulate_stack_recovery(code, schemes, stacks=args.stacks)
+        print(f"  {alg:5s}: {result.speed_mb_s:7.1f} MB/s")
+    return 0
+
+
+def _figure_cmd(args, which: int) -> int:
+    disk_range = range(args.min_disks, args.max_disks + 1)
+    cache = SchemeCache(depth=args.depth, cache_dir=args.cache_dir)
+    series_fn = figure3_series if which == 3 else figure4_series
+    series = series_fn(args.family, disk_range, cache=cache)
+    metric = (
+        "avg parallel read accesses" if which == 3 else "avg recovery speed (MB/s)"
+    )
+    print(
+        render_series_table(
+            f"Figure {which} ({args.family}): {metric}",
+            "disks",
+            list(disk_range),
+            series,
+        )
+    )
+    if args.plot:
+        print()
+        print(ascii_plot(list(disk_range), series, y_label=metric))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.codes import validate_code
+
+    code = make_code(args.family, args.disks)
+    report = validate_code(code)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.recovery import compare_stats
+
+    code = make_code(args.family, args.disks)
+    schemes = {}
+    for alg in ("naive", "khan", "c", "u"):
+        try:
+            schemes[alg] = scheme_for_disk(code, args.failed_disk, algorithm=alg)
+        except ValueError:
+            continue
+    print(code.describe())
+    print(compare_stats(schemes))
+    return 0
+
+
+def _cmd_degraded(args) -> int:
+    from repro.recovery import degraded_read_scheme
+
+    code = make_code(args.family, args.disks)
+    rows = [int(r) for r in args.rows.split(",")]
+    scheme = degraded_read_scheme(
+        code, args.failed_disk, rows=rows, algorithm=args.algorithm
+    )
+    print(code.describe())
+    print(f"degraded read of rows {rows} on disk {args.failed_disk}:")
+    print(scheme.summary())
+    print(scheme.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    cache = SchemeCache(depth=1, cache_dir=args.cache_dir)
+    text = generate_report(
+        disk_range=range(args.min_disks, args.max_disks + 1),
+        cache=cache,
+        include_reliability=not args.no_reliability,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-recovery",
+        description="Load-balanced recovery schemes for any erasure code "
+        "(Luo & Shu, ICPP 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list supported code families")
+
+    p = sub.add_parser("scheme", help="show a recovery scheme")
+    _add_code_args(p)
+    p.add_argument("--failed-disk", type=int, default=0)
+    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--depth", type=int, default=2)
+
+    p = sub.add_parser("verify", help="byte-exact recovery round trip")
+    _add_code_args(p)
+
+    p = sub.add_parser("simulate", help="simulated recovery speed per algorithm")
+    _add_code_args(p)
+    p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--stacks", type=int, default=20)
+
+    for which in (3, 4):
+        p = sub.add_parser(f"figure{which}", help=f"regenerate paper Figure {which}")
+        p.add_argument("--family", default="rdp", choices=list_families())
+        p.add_argument("--min-disks", type=int, default=7)
+        p.add_argument("--max-disks", type=int, default=16)
+        p.add_argument("--depth", type=int, default=1)
+        p.add_argument("--cache-dir", default=None)
+        p.add_argument("--plot", action="store_true",
+                       help="also render an ASCII chart of the series")
+
+    p = sub.add_parser("validate", help="run all structural/MDS checks on a code")
+    _add_code_args(p)
+
+    p = sub.add_parser("stats", help="reuse/overlap statistics per algorithm")
+    _add_code_args(p)
+    p.add_argument("--failed-disk", type=int, default=0)
+
+    p = sub.add_parser("degraded", help="plan a degraded read of failed rows")
+    _add_code_args(p)
+    p.add_argument("--failed-disk", type=int, default=0)
+    p.add_argument("--rows", default="0", help="comma-separated row indices")
+    p.add_argument("--algorithm", default="u", choices=["khan", "u"])
+
+    p = sub.add_parser("report", help="full reproduction report (markdown)")
+    p.add_argument("--min-disks", type=int, default=7)
+    p.add_argument("--max-disks", type=int, default=16)
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument("--output", default=None)
+    p.add_argument("--no-reliability", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "families":
+        return _cmd_families(args)
+    if args.command == "scheme":
+        return _cmd_scheme(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figure3":
+        return _figure_cmd(args, 3)
+    if args.command == "figure4":
+        return _figure_cmd(args, 4)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "degraded":
+        return _cmd_degraded(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

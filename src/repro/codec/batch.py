@@ -1,0 +1,91 @@
+"""Vectorized multi-stripe recovery.
+
+Recovering a whole disk means executing the same scheme on thousands of
+stripes.  Per-stripe Python dispatch wastes the interpreter; this module
+stacks the stripes into one 3-D array and performs each equation's XOR
+reduction across *all* stripes with a single ``np.bitwise_xor.reduce``
+call — the classic "vectorize the outer loop" move for numpy throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.recovery.scheme import RecoveryScheme
+
+
+class BatchReconstructor:
+    """Executes one recovery scheme over stacks of stripes at once.
+
+    The equation plan is compiled once (per failed element: index arrays of
+    surviving sources plus references to earlier recovered outputs) and then
+    applied to ``(n_stripes, n_elements, element_size)`` arrays.
+    """
+
+    def __init__(self, scheme: RecoveryScheme) -> None:
+        self.scheme = scheme
+        failed_mask = scheme.failed_mask
+        #: per slot: (surviving source eids, earlier-recovered source eids)
+        self._plan: List = []
+        for f, eq in zip(scheme.failed_eids, scheme.equations):
+            members = eq & ~(1 << f)
+            surviving: List[int] = []
+            recovered_refs: List[int] = []
+            m = members
+            while m:
+                low = m & -m
+                eid = low.bit_length() - 1
+                m ^= low
+                if (failed_mask >> eid) & 1:
+                    recovered_refs.append(eid)
+                else:
+                    surviving.append(eid)
+            self._plan.append(
+                (f, np.asarray(surviving, dtype=np.int64), recovered_refs)
+            )
+
+    def recover_batch(self, stripes: np.ndarray) -> Dict[int, np.ndarray]:
+        """Rebuild the failed elements of every stripe in the batch.
+
+        Parameters
+        ----------
+        stripes:
+            Array of shape ``(n_stripes, n_elements, element_size)``; the
+            failed elements' stored rows are never read.
+
+        Returns
+        -------
+        dict mapping failed eid -> ``(n_stripes, element_size)`` array.
+        """
+        if stripes.ndim != 3:
+            raise ValueError(
+                f"expected (n_stripes, n_elements, element_size), got {stripes.shape}"
+            )
+        if stripes.shape[1] != self.scheme.layout.n_elements:
+            raise ValueError(
+                f"stripe width {stripes.shape[1]} != layout "
+                f"{self.scheme.layout.n_elements}"
+            )
+        out: Dict[int, np.ndarray] = {}
+        for f, surviving, recovered_refs in self._plan:
+            if surviving.size:
+                acc = np.bitwise_xor.reduce(stripes[:, surviving, :], axis=1)
+            else:
+                acc = np.zeros(
+                    (stripes.shape[0], stripes.shape[2]), dtype=np.uint8
+                )
+            for eid in recovered_refs:
+                np.bitwise_xor(acc, out[eid], out=acc)
+            out[f] = acc
+        return out
+
+    def verify_batch(self, stripes: np.ndarray) -> bool:
+        """Recover every stripe from survivors and compare with the stored
+        bytes of the failed elements."""
+        recovered = self.recover_batch(stripes)
+        return all(
+            np.array_equal(stripes[:, eid, :], data)
+            for eid, data in recovered.items()
+        )

@@ -1,0 +1,55 @@
+"""Erasure-code constructions.
+
+Every code is defined by its *original calculation equations* (one per parity
+element; see :class:`~repro.codes.base.ErasureCode`), which is the exact
+input format of the paper's recovery-scheme generators.
+
+Families provided: RAID-4, RDP, EVENODD, generalized EVENODD, STAR,
+Blaum-Roth, Liberation, Liber8tion-class minimal density, and Cauchy
+Reed-Solomon — all supporting the "shorten" method for arbitrary disk counts
+via :func:`~repro.codes.registry.make_code`.
+"""
+
+from repro.codes.base import ErasureCode
+from repro.codes.blaum_roth import BlaumRothCode
+from repro.codes.cauchy import CauchyGoodRSCode, CauchyRSCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.gen_evenodd import GeneralizedEvenOddCode
+from repro.codes.layout import CodeLayout
+from repro.codes.liber8tion import Liber8tionCode
+from repro.codes.liberation import LiberationCode
+from repro.codes.min_density import MinDensityRaid6Code
+from repro.codes.raid import Raid4Code
+from repro.codes.rdp import RdpCode
+from repro.codes.registry import (
+    FAMILIES,
+    PAPER_FIGURE_FAMILIES,
+    list_families,
+    make_code,
+)
+from repro.codes.star import StarCode
+from repro.codes.validation import ValidationReport, validate_code
+from repro.codes.xcode import XCode
+
+__all__ = [
+    "CodeLayout",
+    "ErasureCode",
+    "Raid4Code",
+    "RdpCode",
+    "EvenOddCode",
+    "GeneralizedEvenOddCode",
+    "StarCode",
+    "BlaumRothCode",
+    "LiberationCode",
+    "Liber8tionCode",
+    "MinDensityRaid6Code",
+    "CauchyGoodRSCode",
+    "CauchyRSCode",
+    "FAMILIES",
+    "PAPER_FIGURE_FAMILIES",
+    "ValidationReport",
+    "XCode",
+    "list_families",
+    "make_code",
+    "validate_code",
+]

@@ -1,0 +1,188 @@
+"""Abstract erasure-code interface.
+
+A code is defined, exactly as in the paper (Sec. II-A), by its set of
+**original calculation equations**: one per parity element, each an element
+bitmask whose members XOR to zero.  Everything else — the ``mk x nk``
+generator bit-matrix, the parity-check matrix, recoverability tests — is
+derived from those equations, which is what makes the recovery algorithms
+work with *any* erasure code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.codes.layout import CodeLayout
+from repro.gf2 import BitMatrix
+from repro.gf2.linalg import inverse, rank
+
+
+class ErasureCode(ABC):
+    """Base class for all erasure codes.
+
+    Subclasses set :attr:`layout` and :attr:`fault_tolerance` and implement
+    :meth:`parity_equations`.
+    """
+
+    #: human-readable family name, e.g. ``"rdp"``
+    name: str = "abstract"
+
+    def __init__(self, layout: CodeLayout, fault_tolerance: int) -> None:
+        self.layout = layout
+        self.fault_tolerance = fault_tolerance
+        self._equations: Optional[List[int]] = None
+        self._generator: Optional[BitMatrix] = None
+
+    # ------------------------------------------------------------------
+    # the defining interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build_parity_equations(self) -> List[int]:
+        """Return the original calculation equations, one per parity element
+        in :meth:`parity_eids` order.
+
+        Equation ``i`` must contain parity element ``parity_eids()[i]``; its
+        members XOR to zero for every valid codeword.
+        """
+
+    def data_eids(self) -> List[int]:
+        """Element ids holding user data, in logical data order.
+
+        Default: every element of the data disks — *horizontal* codes.
+        Vertical codes (parity rows inside every disk, e.g. X-Code)
+        override this together with :meth:`parity_eids`.
+        """
+        lay = self.layout
+        return [
+            lay.eid(d, r) for d in lay.data_disks for r in range(lay.k_rows)
+        ]
+
+    def parity_eids(self) -> List[int]:
+        """Element ids holding parity, aligned with the equation order."""
+        lay = self.layout
+        return [
+            lay.eid(d, r) for d in lay.parity_disks for r in range(lay.k_rows)
+        ]
+
+    def parity_equations(self) -> List[int]:
+        """The original calculation equations (cached)."""
+        if self._equations is None:
+            eqs = self._build_parity_equations()
+            expected = len(self.parity_eids())
+            if len(eqs) != expected:
+                raise ValueError(
+                    f"{self.name}: expected {expected} equations, got {len(eqs)}"
+                )
+            self._equations = eqs
+        return self._equations
+
+    # ------------------------------------------------------------------
+    # derived linear algebra
+    # ------------------------------------------------------------------
+    def parity_check_matrix(self) -> BitMatrix:
+        """``mk x N`` matrix whose rows are the calculation equations."""
+        return BitMatrix(self.layout.n_elements, self.parity_equations())
+
+    def generator_bitmatrix(self) -> BitMatrix:
+        """The generator: ``parity_vec = G @ data_vec``.
+
+        Row ``i`` of ``G`` computes the parity element ``parity_eids()[i]``
+        from the data bits in :meth:`data_eids` order.  Derived from the
+        calculation equations by inverting their parity part, so it exists
+        iff the equations determine the parity uniquely (which any
+        well-formed code satisfies).
+        """
+        if self._generator is not None:
+            return self._generator
+        h = self.parity_check_matrix()
+        all_rows = list(range(h.nrows))
+        h_data = h.submatrix(all_rows, self.data_eids())
+        h_parity = h.submatrix(all_rows, self.parity_eids())
+        hp_inv = inverse(h_parity)
+        if hp_inv is None:
+            raise ValueError(
+                f"{self.name}: calculation equations do not determine parity "
+                "(parity part singular)"
+            )
+        self._generator = hp_inv @ h_data
+        return self._generator
+
+    def encode_vector(self, data_vec: int) -> int:
+        """Full codeword bitmask for a compact data vector.
+
+        Bit ``j`` of ``data_vec`` is the value of ``data_eids()[j]``; for
+        horizontal codes the data elements occupy the low ``n*k`` bits, so
+        the compact and global layouts coincide.  Used by tests; the
+        byte-level path lives in :mod:`repro.codec`.
+        """
+        g = self.generator_bitmatrix()
+        parity = g.mul_vec(data_vec)
+        vec = 0
+        for j, eid in enumerate(self.data_eids()):
+            vec |= ((data_vec >> j) & 1) << eid
+        for i, eid in enumerate(self.parity_eids()):
+            vec |= ((parity >> i) & 1) << eid
+        return vec
+
+    def is_codeword(self, vec: int) -> bool:
+        """True iff every calculation equation XORs to zero on ``vec``."""
+        return all((eq & vec).bit_count() % 2 == 0 for eq in self.parity_equations())
+
+    # ------------------------------------------------------------------
+    # recoverability
+    # ------------------------------------------------------------------
+    def failed_mask_for_disks(self, disks: Iterable[int]) -> int:
+        """Element mask of entire failed disks."""
+        mask = 0
+        for d in disks:
+            mask |= self.layout.disk_mask(d)
+        return mask
+
+    def is_recoverable(self, failed_mask: int) -> bool:
+        """Can the failed elements be reconstructed from the survivors?
+
+        True iff the parity-check columns of the failed elements are linearly
+        independent (the survivor matrix of the paper is non-singular).
+        """
+        failed_eids = [
+            d * self.layout.k_rows + r for d, r in self.layout.iter_elements(failed_mask)
+        ]
+        if not failed_eids:
+            return True
+        h = self.parity_check_matrix()
+        sub = h.submatrix(list(range(h.nrows)), failed_eids)
+        return rank(sub) == len(failed_eids)
+
+    def verify_fault_tolerance(self) -> bool:
+        """Exhaustively check that every combination of up to
+        ``fault_tolerance`` whole-disk failures is recoverable."""
+        disks = range(self.layout.n_disks)
+        for t in range(1, self.fault_tolerance + 1):
+            for combo in itertools.combinations(disks, t):
+                if not self.is_recoverable(self.failed_mask_for_disks(combo)):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def density(self) -> int:
+        """Number of ones in the generator bit-matrix (lower = cheaper
+        encoding; the 'lowest density' notion of the paper's Sec. II-B)."""
+        return self.generator_bitmatrix().density()
+
+    def describe(self) -> str:
+        lay = self.layout
+        return (
+            f"{self.name}: {lay.n_data} data + {lay.m_parity} parity disks, "
+            f"{lay.k_rows} rows/stripe, tolerates {self.fault_tolerance} failures"
+        )
+
+    def __repr__(self) -> str:
+        lay = self.layout
+        return (
+            f"{type(self).__name__}(n_data={lay.n_data}, m={lay.m_parity}, "
+            f"k={lay.k_rows})"
+        )

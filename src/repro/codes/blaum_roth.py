@@ -1,0 +1,93 @@
+"""Blaum-Roth lowest-density MDS RAID-6 codes [Blaum & Roth, IEEE-IT 1999].
+
+The construction works in the polynomial ring
+``R_p = GF(2)[x] / M_p(x)`` with ``M_p(x) = 1 + x + ... + x^(p-1)`` for prime
+``p``.  Each disk column is one ring element of ``w = p - 1`` bits; data
+column ``i`` contributes ``x^i * d_i`` to the Q parity::
+
+    P = d_0 + d_1 + ... + d_{n-1}
+    Q = d_0 + x*d_1 + x^2*d_2 + ... + x^(n-1)*d_{n-1}      (mod M_p)
+
+Since ``x^i + x^j`` is invertible mod ``M_p`` for ``0 <= i < j <= p-1`` the
+code is MDS.  Multiplication by ``x`` is the companion matrix ``C`` (shift +
+wrap via ``x^w = 1 + x + ... + x^(w-1)``), so the Q-column bit-matrix of
+disk ``i`` is ``C^i``.
+
+Parameterisation follows the standard (Jerasure) convention: ``w = p - 1``
+rows with ``w + 1`` prime and ``k <= w`` data disks.  Note the ring algebra
+is the same one underlying EVENODD — an *unshortened* EVENODD(p) has the
+same calculation equations as this code with ``k = p`` — but the Blaum-Roth
+parameter range (``k <= p-1``, one more stripe row at equal disk count)
+gives the family its own distinct recovery geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.codes.primes import is_prime
+from repro.gf2 import BitMatrix
+
+
+def companion_matrix(p: int) -> BitMatrix:
+    """Multiplication-by-``x`` matrix in ``GF(2)[x]/M_p(x)`` (``w = p-1``)."""
+    w = p - 1
+    m = BitMatrix(w)
+    top = 1 << (w - 1)  # coefficient a_{w-1} feeds every output bit
+    m.rows.append(top)  # b_0 = a_{w-1}
+    for t in range(1, w):
+        m.rows.append((1 << (t - 1)) | top)  # b_t = a_{t-1} + a_{w-1}
+    return m
+
+
+class BlaumRothCode(ErasureCode):
+    """Blaum-Roth RAID-6 over prime ``p`` with ``n_data <= p - 1`` data disks
+    (the ``k <= w``, ``w + 1`` prime convention)."""
+
+    name = "blaum_roth"
+
+    def __init__(self, p: int, n_data: int = None) -> None:
+        if not is_prime(p):
+            raise ValueError(f"Blaum-Roth requires prime p, got {p}")
+        if n_data is None:
+            n_data = p - 1
+        if not 1 <= n_data <= p - 1:
+            raise ValueError(
+                f"Blaum-Roth needs 1 <= n_data <= p-1 (k <= w), "
+                f"got {n_data} (p={p})"
+            )
+        self.p = p
+        super().__init__(CodeLayout(n_data, 2, p - 1), fault_tolerance=2)
+
+    def q_column_matrix(self, disk: int) -> BitMatrix:
+        """``C^disk`` — the Q-parity bit-matrix of data disk ``disk``."""
+        c = companion_matrix(self.p)
+        out = BitMatrix.identity(self.layout.k_rows)
+        for _ in range(disk):
+            out = c @ out
+        return out
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        k = lay.k_rows
+        p_disk, q_disk = lay.n_data, lay.n_data + 1
+        eqs: List[int] = []
+        for r in range(k):
+            eq = 1 << lay.eid(p_disk, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        col_mats = [self.q_column_matrix(d) for d in range(lay.n_data)]
+        for r in range(k):
+            eq = 1 << lay.eid(q_disk, r)
+            for d, mat in enumerate(col_mats):
+                row = mat.rows[r]
+                while row:
+                    low = row & -row
+                    j = low.bit_length() - 1
+                    eq |= 1 << lay.eid(d, j)
+                    row ^= low
+            eqs.append(eq)
+        return eqs

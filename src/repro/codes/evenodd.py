@@ -1,0 +1,68 @@
+"""EVENODD code [Blaum, Brady, Bruck, Menon, IEEE ToC 1995].
+
+Geometry for prime ``p``: a ``(p-1) x (p+2)`` stripe — up to ``p`` data
+disks, row parity P and diagonal parity Q.  Data cell ``(r, c)`` lies on
+diagonal ``(r + c) mod p``.  The special diagonal ``p - 1`` forms the
+adjuster ``S``; each Q element is the XOR of its diagonal *and* S::
+
+    Q[i] = S ^ XOR{ D[r][c] : (r + c) mod p == i }        0 <= i <= p-2
+
+so the calculation equation of ``Q[i]`` has support
+``diag(i) ∪ diag(p-1) ∪ {Q[i]}``.
+
+Supports shortening to ``n_data <= p`` data disks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.codes.primes import is_prime
+
+
+class EvenOddCode(ErasureCode):
+    """EVENODD over prime ``p`` with ``n_data`` (possibly shortened) data disks."""
+
+    name = "evenodd"
+
+    def __init__(self, p: int, n_data: int = None) -> None:
+        if not is_prime(p):
+            raise ValueError(f"EVENODD requires prime p, got {p}")
+        if n_data is None:
+            n_data = p
+        if not 1 <= n_data <= p:
+            raise ValueError(f"EVENODD needs 1 <= n_data <= p, got {n_data} (p={p})")
+        self.p = p
+        super().__init__(CodeLayout(n_data, 2, p - 1), fault_tolerance=2)
+
+    def _diag_cells_mask(self, diag: int) -> int:
+        """Mask of data cells on diagonal ``diag`` (present columns only)."""
+        lay = self.layout
+        p = self.p
+        mask = 0
+        for r in range(lay.k_rows):
+            c = (diag - r) % p
+            if c < lay.n_data:
+                mask |= 1 << lay.eid(c, r)
+        return mask
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        k = lay.k_rows
+        p_disk = lay.n_data
+        q_disk = lay.n_data + 1
+        eqs: List[int] = []
+        for r in range(k):
+            eq = 1 << lay.eid(p_disk, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        s_mask = self._diag_cells_mask(self.p - 1)
+        for i in range(k):
+            # XOR of masks: a cell on both diag i and diag p-1 is impossible
+            # (diagonals partition the cells), so OR == XOR here.
+            eq = (1 << lay.eid(q_disk, i)) | self._diag_cells_mask(i) | s_mask
+            eqs.append(eq)
+        return eqs

@@ -1,0 +1,203 @@
+"""Stripe layout: mapping (disk, row) elements to global element ids.
+
+The whole recovery machinery works on *element bitmasks*: an ``int`` whose bit
+``eid`` says whether element ``eid`` participates in a set (an equation, a
+read set, ...).  Element ids are assigned **disk-major**::
+
+    eid = disk * k + row
+
+so the elements of one disk occupy a contiguous ``k``-bit window of the mask
+and per-disk read loads are single ``bit_count`` calls — the innermost
+operation of the load-balance search.
+
+Disks ``0 .. n_data-1`` hold user data; disks ``n_data .. n_data+m_parity-1``
+hold parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CodeLayout:
+    """Geometry of one stripe of an erasure-coded array.
+
+    Parameters
+    ----------
+    n_data:
+        Number of data disks (the paper's *n*).
+    m_parity:
+        Number of parity disks (the paper's *m*).
+    k_rows:
+        Elements per disk per stripe (the paper's *k*).
+    """
+
+    n_data: int
+    m_parity: int
+    k_rows: int
+
+    def __post_init__(self) -> None:
+        if self.n_data < 1:
+            raise ValueError(f"n_data must be >= 1, got {self.n_data}")
+        if self.m_parity < 0:
+            raise ValueError(f"m_parity must be >= 0, got {self.m_parity}")
+        if self.k_rows < 1:
+            raise ValueError(f"k_rows must be >= 1, got {self.k_rows}")
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_disks(self) -> int:
+        """Total disk count ``n_data + m_parity``."""
+        return self.n_data + self.m_parity
+
+    @property
+    def n_elements(self) -> int:
+        """Total elements per stripe across all disks."""
+        return self.n_disks * self.k_rows
+
+    @property
+    def n_data_elements(self) -> int:
+        return self.n_data * self.k_rows
+
+    @property
+    def n_parity_elements(self) -> int:
+        return self.m_parity * self.k_rows
+
+    @property
+    def data_disks(self) -> range:
+        return range(self.n_data)
+
+    @property
+    def parity_disks(self) -> range:
+        return range(self.n_data, self.n_disks)
+
+    # ------------------------------------------------------------------
+    # element id mapping
+    # ------------------------------------------------------------------
+    def eid(self, disk: int, row: int) -> int:
+        """Global element id of (disk, row)."""
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} out of range [0, {self.n_disks})")
+        if not 0 <= row < self.k_rows:
+            raise IndexError(f"row {row} out of range [0, {self.k_rows})")
+        return disk * self.k_rows + row
+
+    def disk_of(self, eid: int) -> int:
+        """Disk index of an element id."""
+        self._check_eid(eid)
+        return eid // self.k_rows
+
+    def row_of(self, eid: int) -> int:
+        """Row index of an element id."""
+        self._check_eid(eid)
+        return eid % self.k_rows
+
+    def _check_eid(self, eid: int) -> None:
+        if not 0 <= eid < self.n_elements:
+            raise IndexError(f"eid {eid} out of range [0, {self.n_elements})")
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+    def disk_mask(self, disk: int) -> int:
+        """Bitmask covering every element of one disk."""
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} out of range [0, {self.n_disks})")
+        return ((1 << self.k_rows) - 1) << (disk * self.k_rows)
+
+    @property
+    def data_mask(self) -> int:
+        """Bitmask covering all user-data elements."""
+        return (1 << self.n_data_elements) - 1
+
+    @property
+    def parity_mask(self) -> int:
+        """Bitmask covering all parity elements."""
+        return ((1 << self.n_parity_elements) - 1) << self.n_data_elements
+
+    def element_mask(self, elements: Sequence[Tuple[int, int]]) -> int:
+        """Bitmask from an iterable of (disk, row) pairs."""
+        mask = 0
+        for disk, row in elements:
+            mask |= 1 << self.eid(disk, row)
+        return mask
+
+    # ------------------------------------------------------------------
+    # mask queries (the hot path of the search)
+    # ------------------------------------------------------------------
+    def loads(self, mask: int) -> List[int]:
+        """Per-disk element counts of a mask."""
+        k = self.k_rows
+        window = (1 << k) - 1
+        return [
+            ((mask >> (d * k)) & window).bit_count() for d in range(self.n_disks)
+        ]
+
+    def load_of_disk(self, mask: int, disk: int) -> int:
+        """Element count of ``mask`` on one disk."""
+        k = self.k_rows
+        return ((mask >> (disk * k)) & ((1 << k) - 1)).bit_count()
+
+    def max_load(self, mask: int) -> int:
+        """The paper's ``Max_Col``: elements on the most loaded disk."""
+        k = self.k_rows
+        window = (1 << k) - 1
+        best = 0
+        for d in range(self.n_disks):
+            c = ((mask >> (d * k)) & window).bit_count()
+            if c > best:
+                best = c
+        return best
+
+    def max_weighted_load(self, mask: int, weights: Sequence[float]) -> float:
+        """Max per-disk load scaled by per-disk read costs (heterogeneous)."""
+        k = self.k_rows
+        window = (1 << k) - 1
+        best = 0.0
+        for d in range(self.n_disks):
+            c = ((mask >> (d * k)) & window).bit_count() * weights[d]
+            if c > best:
+                best = c
+        return best
+
+    def iter_elements(self, mask: int) -> Iterator[Tuple[int, int]]:
+        """Yield (disk, row) for every element in a mask, in eid order."""
+        k = self.k_rows
+        while mask:
+            low = mask & -mask
+            eid = low.bit_length() - 1
+            yield eid // k, eid % k
+            mask ^= low
+
+    def mask_size(self, mask: int) -> int:
+        """Number of elements in a mask."""
+        return mask.bit_count()
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, *, failed: int = 0, read: int = 0) -> str:
+        """ASCII stripe picture, Figure 1/2 style.
+
+        ``failed`` and ``read`` are element masks; failed elements render as
+        ``X`` (the paper's lightning), read elements as ``R`` (the smiles),
+        everything else as ``.``.  Disks are columns, rows are rows.
+        """
+        header = " ".join(f"d{d:<2d}" for d in range(self.n_disks))
+        lines = [header]
+        for row in range(self.k_rows):
+            cells = []
+            for disk in range(self.n_disks):
+                bit = 1 << self.eid(disk, row)
+                if failed & bit:
+                    cells.append("X")
+                elif read & bit:
+                    cells.append("R")
+                else:
+                    cells.append(".")
+            lines.append("  ".join(f"{c:<2s}" for c in cells))
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Liber8tion-class code: irregular RAID-6 with w = 8.
+
+Plank's Liber8tion code [IJHPCA 2009] uses w = 8 Q-column bit-matrices found
+by an offline enumeration that we cannot reproduce verbatim (and the
+cyclic-shift-plus-bit scheme of :mod:`repro.codes.min_density` is provably
+impossible at w = 8: shifts with even differences leave a rank deficiency no
+couple of extra bits can repair).  We substitute the classic GF(256)
+generator-power construction — the RAID-6 of the Linux kernel::
+
+    P = d_0 + d_1 + ... + d_{n-1}
+    Q = d_0 + a*d_1 + a^2*d_2 + ... + a^(n-1)*d_{n-1}        a primitive
+
+which is MDS for any ``n <= 255`` because ``a^i + a^j`` is a nonzero field
+element.  Like the real Liber8tion it is an *irregular* w = 8 RAID-6 code, so
+its minimum-read recovery schemes concentrate load on few disks — the exact
+phenomenon Figure 2 of the paper demonstrates.  See DESIGN.md,
+"Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.gf2 import GF2w
+
+
+class Liber8tionCode(ErasureCode):
+    """w = 8 irregular RAID-6 (GF(256) power construction)."""
+
+    name = "liber8tion"
+
+    def __init__(self, n_data: int = 8) -> None:
+        if not 1 <= n_data <= 255:
+            raise ValueError(f"need 1 <= n_data <= 255, got {n_data}")
+        self.w = 8
+        self.field = GF2w(8)
+        super().__init__(CodeLayout(n_data, 2, 8), fault_tolerance=2)
+
+    def q_column_matrix(self, disk: int):
+        """Bit-matrix of multiplication by ``a^disk``."""
+        return self.field.mul_matrix(self.field.pow(2, disk))
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        k = lay.k_rows
+        p_disk, q_disk = lay.n_data, lay.n_data + 1
+        eqs: List[int] = []
+        for r in range(k):
+            eq = 1 << lay.eid(p_disk, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        mats = [self.q_column_matrix(d) for d in range(lay.n_data)]
+        for r in range(k):
+            eq = 1 << lay.eid(q_disk, r)
+            for d, mat in enumerate(mats):
+                row = mat.rows[r]
+                while row:
+                    low = row & -row
+                    eq |= 1 << lay.eid(d, low.bit_length() - 1)
+                    row ^= low
+            eqs.append(eq)
+        return eqs

@@ -1,0 +1,27 @@
+"""Small prime utilities for prime-parameterised array codes."""
+
+from __future__ import annotations
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality for the small n used by array codes."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime_at_least(n: int) -> int:
+    """Smallest prime >= n."""
+    c = max(n, 2)
+    while not is_prime(c):
+        c += 1
+    return c

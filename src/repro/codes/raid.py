@@ -1,0 +1,32 @@
+"""Single-parity RAID-4 style code (fault tolerance 1).
+
+The simplest member of the family — every row has one parity element that is
+the XOR of the row's data elements.  Used as a baseline substrate, for the
+"naive" recovery concept, and in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+
+
+class Raid4Code(ErasureCode):
+    """RAID-4: ``n_data`` data disks + 1 parity disk, ``k_rows`` rows."""
+
+    name = "raid4"
+
+    def __init__(self, n_data: int, k_rows: int = 1) -> None:
+        super().__init__(CodeLayout(n_data, 1, k_rows), fault_tolerance=1)
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        eqs = []
+        for r in range(lay.k_rows):
+            eq = 1 << lay.eid(lay.n_data, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        return eqs

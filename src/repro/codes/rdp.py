@@ -1,0 +1,73 @@
+"""RDP (Row-Diagonal Parity) code [Corbett et al., FAST'04].
+
+Geometry for prime ``p``: a ``(p-1) x (p+1)`` stripe — up to ``p-1`` data
+disks, one row-parity disk P, one diagonal-parity disk Q.  The diagonal of
+cell ``(r, c)`` over the first ``p`` logical columns (data columns *and* the
+P column) is ``(r + c) mod p``; diagonals ``0 .. p-2`` each have a parity
+element on Q, diagonal ``p-1`` is the "missing" diagonal.
+
+Supports the "shorten" method [23]: build with ``n_data <= p-1`` by treating
+the dropped data columns as all-zero (their cells simply vanish from every
+equation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.codes.primes import is_prime
+
+
+class RdpCode(ErasureCode):
+    """RDP over prime ``p`` with ``n_data`` (possibly shortened) data disks.
+
+    Parameters
+    ----------
+    p:
+        The prime parameter; the stripe has ``k = p - 1`` rows.
+    n_data:
+        Number of data disks, ``1 <= n_data <= p - 1``.  Defaults to the full
+        ``p - 1``.
+    """
+
+    name = "rdp"
+
+    def __init__(self, p: int, n_data: int = None) -> None:
+        if not is_prime(p):
+            raise ValueError(f"RDP requires prime p, got {p}")
+        if n_data is None:
+            n_data = p - 1
+        if not 1 <= n_data <= p - 1:
+            raise ValueError(f"RDP needs 1 <= n_data <= p-1, got {n_data} (p={p})")
+        self.p = p
+        super().__init__(CodeLayout(n_data, 2, p - 1), fault_tolerance=2)
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        p = self.p
+        k = lay.k_rows  # p - 1
+        p_disk = lay.n_data      # row-parity disk
+        q_disk = lay.n_data + 1  # diagonal-parity disk
+        eqs: List[int] = []
+        # Row parity: P[r] = XOR of data row r.
+        for r in range(k):
+            eq = 1 << lay.eid(p_disk, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        # Diagonal parity: diagonal i covers cells (r, c) with (r + c) % p == i
+        # over logical columns c = 0..p-1, where logical columns 0..p-2 are
+        # data disks (present only if c < n_data) and column p-1 is P.
+        for i in range(k):
+            eq = 1 << lay.eid(q_disk, i)
+            for r in range(k):
+                c = (i - r) % p
+                if c < lay.n_data:
+                    eq |= 1 << lay.eid(c, r)
+                elif c == p - 1:
+                    eq |= 1 << lay.eid(p_disk, r)
+                # columns n_data..p-2 are shortened (imaginary zeros)
+            eqs.append(eq)
+        return eqs

@@ -1,0 +1,133 @@
+"""Code registry: build any supported code from a family name + disk count.
+
+This implements the paper's experimental setup: "the numbers of disks are
+varied from 7 to 16 ... we use the 'shorten' method to get rid of the prime
+limitation" (Sec. VI-A).  Given a *total* disk count, each factory picks the
+smallest valid prime / word size and shortens the code to fit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.codes.base import ErasureCode
+from repro.codes.blaum_roth import BlaumRothCode
+from repro.codes.cauchy import CauchyGoodRSCode, CauchyRSCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.gen_evenodd import GeneralizedEvenOddCode
+from repro.codes.liber8tion import Liber8tionCode
+from repro.codes.liberation import LiberationCode
+from repro.codes.primes import next_prime_at_least
+from repro.codes.raid import Raid4Code
+from repro.codes.rdp import RdpCode
+from repro.codes.star import StarCode
+from repro.codes.xcode import XCode
+
+
+def _make_rdp(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 2
+    p = next_prime_at_least(n_data + 1)
+    return RdpCode(p, n_data)
+
+
+def _make_evenodd(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 2
+    p = next_prime_at_least(n_data)
+    return EvenOddCode(p, n_data)
+
+
+def _make_star(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 3
+    p = next_prime_at_least(n_data)
+    return StarCode(p, n_data)
+
+
+def _make_gen_evenodd(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 3
+    p = next_prime_at_least(n_data)
+    return GeneralizedEvenOddCode(p, n_data, m_parity=3)
+
+
+def _make_blaum_roth(n_disks: int) -> ErasureCode:
+    # Jerasure convention: k <= w with w+1 prime, i.e. n_data <= p-1
+    n_data = n_disks - 2
+    p = next_prime_at_least(n_data + 1)
+    return BlaumRothCode(p, n_data)
+
+
+def _make_liberation(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 2
+    w = next_prime_at_least(n_data)
+    return LiberationCode(w, n_data)
+
+
+def _make_liber8tion(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 2
+    if n_data > 8:
+        raise ValueError(f"liber8tion supports at most 10 disks, got {n_disks}")
+    return Liber8tionCode(n_data)
+
+
+def _make_raid4(n_disks: int) -> ErasureCode:
+    return Raid4Code(n_disks - 1, k_rows=4)
+
+
+def _make_cauchy(n_disks: int) -> ErasureCode:
+    return CauchyRSCode(n_disks - 2, 2, w=4)
+
+
+def _make_cauchy3(n_disks: int) -> ErasureCode:
+    return CauchyRSCode(n_disks - 3, 3, w=4)
+
+
+def _make_cauchy_good(n_disks: int) -> ErasureCode:
+    return CauchyGoodRSCode(n_disks - 2, 2, w=4)
+
+
+def _make_xcode(n_disks: int) -> ErasureCode:
+    # vertical code: the disk count itself must be prime (no shortening)
+    return XCode(n_disks)
+
+
+FAMILIES: Dict[str, Callable[[int], ErasureCode]] = {
+    "rdp": _make_rdp,
+    "evenodd": _make_evenodd,
+    "star": _make_star,
+    "gen_evenodd": _make_gen_evenodd,
+    "blaum_roth": _make_blaum_roth,
+    "liberation": _make_liberation,
+    "liber8tion": _make_liber8tion,
+    "raid4": _make_raid4,
+    "cauchy_rs": _make_cauchy,
+    "cauchy_rs3": _make_cauchy3,
+    "cauchy_good": _make_cauchy_good,
+    "xcode": _make_xcode,
+}
+
+#: the five code families of the paper's Figures 3 and 4, in figure order
+PAPER_FIGURE_FAMILIES: List[str] = [
+    "blaum_roth",
+    "evenodd",
+    "rdp",
+    "liberation",
+    "star",
+]
+
+
+def list_families() -> List[str]:
+    """Names accepted by :func:`make_code`."""
+    return sorted(FAMILIES)
+
+
+def make_code(family: str, n_disks: int) -> ErasureCode:
+    """Build a (possibly shortened) code with ``n_disks`` total disks."""
+    try:
+        factory = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown code family {family!r}; choose from {list_families()}"
+        ) from None
+    min_disks = 4 if family in ("star", "gen_evenodd", "cauchy_rs3") else 3
+    if n_disks < min_disks:
+        raise ValueError(f"{family} needs at least {min_disks} disks, got {n_disks}")
+    return factory(n_disks)

@@ -1,0 +1,68 @@
+"""STAR code [Huang & Xu, FAST'05] — triple-fault-tolerant array code.
+
+STAR extends EVENODD with a third parity column built on the *anti*-diagonals
+(slope -1): data cell ``(r, c)`` lies on anti-diagonal ``(r - c) mod p`` and
+the anti-diagonal ``p - 1`` is the second adjuster ``S'``::
+
+    Q'[i] = S' ^ XOR{ D[r][c] : (r - c) mod p == i }      0 <= i <= p-2
+
+Geometry for prime ``p``: ``(p-1)`` rows, up to ``p`` data disks plus parity
+disks P (rows), Q (diagonals, as EVENODD) and Q' (anti-diagonals).  Supports
+shortening to ``n_data <= p``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.codes.primes import is_prime
+
+
+class StarCode(ErasureCode):
+    """STAR over prime ``p`` with ``n_data`` (possibly shortened) data disks."""
+
+    name = "star"
+
+    def __init__(self, p: int, n_data: int = None) -> None:
+        if not is_prime(p):
+            raise ValueError(f"STAR requires prime p, got {p}")
+        if n_data is None:
+            n_data = p
+        if not 1 <= n_data <= p:
+            raise ValueError(f"STAR needs 1 <= n_data <= p, got {n_data} (p={p})")
+        self.p = p
+        super().__init__(CodeLayout(n_data, 3, p - 1), fault_tolerance=3)
+
+    def _slope_cells_mask(self, index: int, slope: int) -> int:
+        """Mask of data cells on line ``(r + slope*c) mod p == index``."""
+        lay = self.layout
+        p = self.p
+        mask = 0
+        for r in range(lay.k_rows):
+            for c in range(lay.n_data):
+                if (r + slope * c) % p == index:
+                    mask |= 1 << lay.eid(c, r)
+        return mask
+
+    def _build_parity_equations(self) -> List[int]:
+        lay = self.layout
+        k = lay.k_rows
+        p_disk, q_disk, q2_disk = lay.n_data, lay.n_data + 1, lay.n_data + 2
+        eqs: List[int] = []
+        # rows
+        for r in range(k):
+            eq = 1 << lay.eid(p_disk, r)
+            for d in range(lay.n_data):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        # diagonals (slope +1), EVENODD-style with adjuster diag p-1
+        s1 = self._slope_cells_mask(self.p - 1, 1)
+        for i in range(k):
+            eqs.append((1 << lay.eid(q_disk, i)) | self._slope_cells_mask(i, 1) | s1)
+        # anti-diagonals (slope -1) with adjuster anti-diag p-1
+        s2 = self._slope_cells_mask(self.p - 1, -1)
+        for i in range(k):
+            eqs.append((1 << lay.eid(q2_disk, i)) | self._slope_cells_mask(i, -1) | s2)
+        return eqs

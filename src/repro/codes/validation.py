@@ -1,0 +1,136 @@
+"""One-stop diagnostics for an erasure code instance.
+
+Meant for users bringing their own constructions (see
+``examples/custom_code.py``): :func:`validate_code` runs the structural,
+algebraic and recoverability checks the test-suite applies to the built-in
+families and returns a machine-readable report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.codes.base import ErasureCode
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_code`."""
+
+    code_description: str
+    checks: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+    density: int = 0
+    verified_fault_tolerance: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [self.code_description]
+        for c in self.checks:
+            lines.append(f"  [ok] {c}")
+        for p in self.problems:
+            lines.append(f"  [FAIL] {p}")
+        lines.append(
+            f"  density={self.density}, verified fault tolerance="
+            f"{self.verified_fault_tolerance}"
+        )
+        return "\n".join(lines)
+
+
+def validate_code(code: ErasureCode, rng_seed: int = 0) -> ValidationReport:
+    """Run all structural and algebraic checks on a code.
+
+    Checks performed:
+
+    1. equation count and parity-element membership;
+    2. equations vanish on random codewords (generator consistency);
+    3. every data element is covered by at least one equation;
+    4. exhaustive erasure check up to the declared fault tolerance;
+    5. one-beyond-tolerance failures are not all recoverable (MDS smell
+       test — a warning-level check, non-MDS codes legitimately differ).
+    """
+    report = ValidationReport(code_description=code.describe())
+    lay = code.layout
+
+    # 1. structure
+    try:
+        eqs = code.parity_equations()
+        ok = True
+        for idx, eq in enumerate(eqs):
+            p, r = divmod(idx, lay.k_rows)
+            if not (eq >> lay.eid(lay.n_data + p, r)) & 1:
+                report.problems.append(
+                    f"equation {idx} misses its parity element"
+                )
+                ok = False
+        if ok:
+            report.checks.append(
+                f"{len(eqs)} calculation equations, parity membership correct"
+            )
+    except Exception as exc:  # defensive: user construction may raise
+        report.problems.append(f"equation construction failed: {exc}")
+        return report
+
+    # 2. generator consistency
+    try:
+        rng = random.Random(rng_seed)
+        for _ in range(4):
+            vec = code.encode_vector(rng.getrandbits(lay.n_data_elements))
+            if not code.is_codeword(vec):
+                report.problems.append("encoded vector violates an equation")
+                break
+        else:
+            report.checks.append("random codewords satisfy every equation")
+    except ValueError as exc:
+        report.problems.append(f"generator derivation failed: {exc}")
+        return report
+
+    # 3. coverage
+    uncovered = [
+        (d, r)
+        for d in range(lay.n_data)
+        for r in range(lay.k_rows)
+        if not any((eq >> lay.eid(d, r)) & 1 for eq in eqs)
+    ]
+    if uncovered:
+        report.problems.append(f"data elements in no equation: {uncovered}")
+    else:
+        report.checks.append("every data element appears in an equation")
+
+    # 4. fault tolerance
+    if code.verify_fault_tolerance():
+        report.checks.append(
+            f"all <= {code.fault_tolerance}-disk failures recoverable"
+        )
+        report.verified_fault_tolerance = code.fault_tolerance
+    else:
+        report.problems.append(
+            f"declared fault tolerance {code.fault_tolerance} not met"
+        )
+
+    # 5. MDS smell test
+    import itertools
+
+    t = code.fault_tolerance + 1
+    if t <= lay.n_disks:
+        all_recoverable = all(
+            code.is_recoverable(code.failed_mask_for_disks(combo))
+            for combo in itertools.combinations(range(lay.n_disks), t)
+        )
+        if all_recoverable:
+            report.checks.append(
+                f"note: even {t}-disk failures recover — declared tolerance "
+                "is conservative"
+            )
+        else:
+            report.checks.append(
+                f"{t}-disk failures exceed the code (expected for MDS)"
+            )
+
+    report.density = code.density()
+    return report

@@ -1,0 +1,102 @@
+"""Single-disk timing model.
+
+Reads are modelled at element granularity: a batch of element reads on one
+disk is grouped into maximal runs of adjacent elements (the OS merges
+adjacent requests into sequential I/O); each run costs one positioning
+penalty (seek + rotational latency) plus its transfer time at sequential
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Timing parameters of one disk.
+
+    Defaults match the paper's Seagate Savvio 10K.3 (ST9300603SS) drives and
+    16 MB elements (Sec. VI-A).
+    """
+
+    seq_read_bw_mb: float = 56.1
+    seq_write_bw_mb: float = 131.0
+    seek_ms: float = 3.8                # vendor-typical average seek @10k rpm
+    rotational_latency_ms: float = 3.0  # half a revolution at 10 000 rpm
+    element_mb: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.seq_read_bw_mb <= 0 or self.seq_write_bw_mb <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.seek_ms < 0 or self.rotational_latency_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.element_mb <= 0:
+            raise ValueError("element_mb must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def positioning_s(self) -> float:
+        """Seconds to position the head before a non-adjacent access."""
+        return (self.seek_ms + self.rotational_latency_ms) / 1000.0
+
+    @property
+    def element_read_s(self) -> float:
+        """Seconds of pure transfer for one element."""
+        return self.element_mb / self.seq_read_bw_mb
+
+    @property
+    def element_write_s(self) -> float:
+        """Seconds of pure transfer to write one element."""
+        return self.element_mb / self.seq_write_bw_mb
+
+    def scaled(self, speed_factor: float) -> "DiskParams":
+        """A disk ``speed_factor`` times faster (heterogeneous arrays)."""
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        return replace(
+            self,
+            seq_read_bw_mb=self.seq_read_bw_mb * speed_factor,
+            seq_write_bw_mb=self.seq_write_bw_mb * speed_factor,
+        )
+
+    # ------------------------------------------------------------------
+    def runs(self, rows: Sequence[int]) -> List[Tuple[int, int]]:
+        """Group sorted row indices into maximal (start, length) runs."""
+        runs: List[Tuple[int, int]] = []
+        prev = None
+        for row in sorted(rows):
+            if prev is not None and row == prev:
+                continue  # duplicate
+            if runs and prev is not None and row == prev + 1:
+                start, length = runs[-1]
+                runs[-1] = (start, length + 1)
+            else:
+                runs.append((row, 1))
+            prev = row
+        return runs
+
+    def read_time_for_rows(self, rows: Iterable[int]) -> float:
+        """Seconds to read the given element rows of one stripe window.
+
+        Adjacent rows merge into sequential runs; each run pays one
+        positioning penalty plus transfer.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0.0
+        total = 0.0
+        for _start, length in self.runs(rows):
+            total += self.positioning_s + length * self.element_read_s
+        return total
+
+    def sequential_read_time(self, n_elements: int) -> float:
+        """One positioning penalty + n sequential element transfers."""
+        if n_elements <= 0:
+            return 0.0
+        return self.positioning_s + n_elements * self.element_read_s
+
+
+#: the paper's experimental drive
+SAVVIO_10K3 = DiskParams()

@@ -1,0 +1,125 @@
+"""User I/O workload generators for the on-line recovery simulator."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Request:
+    """One user read request against the array."""
+
+    arrival_s: float
+    disk: int
+    row: int
+    n_elements: int = 1
+
+
+class HotspotWorkload:
+    """Poisson arrivals with a skewed disk distribution.
+
+    A fraction ``hot_fraction`` of requests hits a configurable set of hot
+    disks — the access skew that makes unbalanced recovery schemes hurt
+    most when the recovery's hot disk coincides with the workload's.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        n_disks: int,
+        k_rows: int,
+        hot_disks: Sequence[int] = (0,),
+        hot_fraction: float = 0.8,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not hot_disks:
+            raise ValueError("need at least one hot disk")
+        for d in hot_disks:
+            if not 0 <= d < n_disks:
+                raise ValueError(f"hot disk {d} out of range")
+        self.base = PoissonWorkload(rate_per_s, n_disks, k_rows, seed)
+        self.hot_disks = list(hot_disks)
+        self.hot_fraction = hot_fraction
+
+    def generate(self, duration_s: float) -> List[Request]:
+        rng = self.base.rng
+        out = []
+        for req in self.base.generate(duration_s):
+            if rng.random() < self.hot_fraction:
+                disk = rng.choice(self.hot_disks)
+                req = Request(req.arrival_s, disk, req.row, req.n_elements)
+            out.append(req)
+        return out
+
+
+class SequentialScanWorkload:
+    """A streaming client reading one disk front to back at a fixed rate.
+
+    Models backup/scrub traffic: strictly increasing rows on a single disk,
+    one request every ``interval_s`` seconds.
+    """
+
+    def __init__(self, disk: int, k_rows: int, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if k_rows < 1:
+            raise ValueError("k_rows must be >= 1")
+        self.disk = disk
+        self.k_rows = k_rows
+        self.interval_s = interval_s
+
+    def generate(self, duration_s: float) -> List[Request]:
+        out = []
+        t = self.interval_s
+        i = 0
+        while t < duration_s:
+            out.append(Request(t, self.disk, i % self.k_rows))
+            t += self.interval_s
+            i += 1
+        return out
+
+
+class PoissonWorkload:
+    """Open-loop Poisson arrivals of single-element reads.
+
+    Requests land on uniformly random (disk, row) positions — the degraded
+    foreground traffic that on-line recovery must coexist with (Sec. I).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        n_disks: int,
+        k_rows: int,
+        seed: Optional[int] = None,
+    ) -> None:
+        if rate_per_s < 0:
+            raise ValueError("rate must be non-negative")
+        if n_disks < 1 or k_rows < 1:
+            raise ValueError("n_disks and k_rows must be >= 1")
+        self.rate = rate_per_s
+        self.n_disks = n_disks
+        self.k_rows = k_rows
+        self.rng = random.Random(seed)
+
+    def generate(self, duration_s: float) -> List[Request]:
+        """All requests arriving within ``[0, duration_s)``."""
+        if self.rate == 0:
+            return []
+        out: List[Request] = []
+        t = 0.0
+        while True:
+            t += self.rng.expovariate(self.rate)
+            if t >= duration_s:
+                return out
+            out.append(
+                Request(
+                    arrival_s=t,
+                    disk=self.rng.randrange(self.n_disks),
+                    row=self.rng.randrange(self.k_rows),
+                )
+            )

@@ -1,0 +1,25 @@
+"""Recovery-equation machinery (the paper's ``Get_Rec_Equ``).
+
+Given a code's original calculation equations and a set of failed elements,
+:func:`~repro.equations.enumerate.get_recovery_equations` produces, for each
+failed element, every usable recovery equation — including the *iterative*
+ones of Greenan et al. [10] that express a failed element in terms of other,
+already-recovered failed elements.
+"""
+
+from repro.equations.calc import combination_closure, equation_space_size
+from repro.equations.enumerate import (
+    RecoveryEquations,
+    exhaustive_recovery_equations,
+    gaussian_recovery_equations,
+    get_recovery_equations,
+)
+
+__all__ = [
+    "RecoveryEquations",
+    "combination_closure",
+    "equation_space_size",
+    "exhaustive_recovery_equations",
+    "gaussian_recovery_equations",
+    "get_recovery_equations",
+]

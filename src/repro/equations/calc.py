@@ -1,0 +1,65 @@
+"""Calculation-equation algebra: XOR-combination closure.
+
+Every XOR of calculation equations is itself a calculation equation (the row
+space of the parity-check matrix).  Full closure has ``2^(mk)`` members —
+hopeless to enumerate at realistic sizes (and the reason the recovery-scheme
+problem is NP-hard), so :func:`combination_closure` enumerates combinations
+of up to ``depth`` original equations.  Depth 1 covers the classic row/
+diagonal recovery of the RAID-6 array codes; depth 2-3 adds the substituted
+equations that irregular codes occasionally profit from.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Sequence
+
+
+def equation_space_size(n_original: int) -> int:
+    """Number of distinct XOR combinations of the original equations
+    (including the empty one): the full row-space size ``2^n``."""
+    return 1 << n_original
+
+
+def combination_closure(
+    equations: Sequence[int], depth: int
+) -> Iterator[int]:
+    """Yield all XORs of 1..``depth`` distinct original equations.
+
+    Duplicates are possible in pathological codes and are *not* filtered here
+    (callers dedupe while filtering by failed-element support, which they must
+    scan anyway).
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    n = len(equations)
+    for d in range(1, min(depth, n) + 1):
+        for combo in combinations(equations, d):
+            acc = 0
+            for eq in combo:
+                acc ^= eq
+            yield acc
+
+
+def xor_all(equations: Sequence[int]) -> int:
+    """XOR of a sequence of equation masks."""
+    acc = 0
+    for eq in equations:
+        acc ^= eq
+    return acc
+
+
+def filter_minimal_support(masks: List[int]) -> List[int]:
+    """Drop any mask that is a strict superset of another mask.
+
+    A recovery equation whose read set contains another equation's read set
+    can never beat it on either total reads or per-disk load, so pruning the
+    dominated ones shrinks the search fan-out without losing optimality.
+    Masks equal to each other collapse to one.
+    """
+    unique = sorted(set(masks), key=lambda m: (m.bit_count(), m))
+    kept: List[int] = []
+    for m in unique:
+        if not any(prev & m == prev for prev in kept):
+            kept.append(m)
+    return kept

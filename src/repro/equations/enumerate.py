@@ -1,0 +1,241 @@
+"""``Get_Rec_Equ``: per-failed-element recovery equation enumeration.
+
+A *recovery equation* for failed element ``f`` is any member of the
+calculation-equation space (row space of the parity-check matrix) that
+contains ``f`` and otherwise touches only surviving elements — or failed
+elements that are recovered *earlier* in the recovery order, which is the
+iteration algorithm of Greenan et al. [10]: once an element is rebuilt in
+memory it can feed later equations at zero read cost.
+
+With failed elements processed in ascending element-id order ("sorted from
+top to bottom in a stripe", paper Sec. V-A), an equation whose failed support
+is ``{f_a, f_b, ...}`` is usable exactly when recovering its highest-labelled
+member — so every combination equation is assigned to exactly one slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.equations.calc import combination_closure
+
+
+@dataclass(frozen=True)
+class EquationOption:
+    """One way to recover one failed element.
+
+    ``read_mask`` is the surviving-element support (what must be read);
+    ``equation`` is the full calculation equation (surviving + failed
+    members), which the codec needs to actually XOR the element back.
+    """
+
+    read_mask: int
+    equation: int
+
+
+@dataclass
+class RecoveryEquations:
+    """All recovery equations for a failure situation, slot by slot.
+
+    ``failed_eids[i]`` is the i-th failed element (ascending); ``options[i]``
+    are its usable equations, deduplicated and pruned of dominated read sets,
+    sorted by read cost.
+    """
+
+    layout: CodeLayout
+    failed_mask: int
+    failed_eids: List[int]
+    options: List[List[EquationOption]]
+    depth: int
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_eids)
+
+    def is_complete(self) -> bool:
+        """True iff every failed element has at least one recovery equation
+        (a necessary condition for the search to find a scheme)."""
+        return all(self.options)
+
+    def validate(self) -> None:
+        """Internal-consistency check used by tests."""
+        recovered = 0
+        for i, f in enumerate(self.failed_eids):
+            fbit = 1 << f
+            for opt in self.options[i]:
+                if not opt.equation & fbit:
+                    raise AssertionError(f"slot {i}: equation misses element {f}")
+                illegal = opt.equation & self.failed_mask & ~(recovered | fbit)
+                if illegal:
+                    raise AssertionError(
+                        f"slot {i}: equation touches not-yet-recovered failed "
+                        f"elements {illegal:#x}"
+                    )
+                if opt.read_mask != opt.equation & ~self.failed_mask:
+                    raise AssertionError(f"slot {i}: read_mask inconsistent")
+            recovered |= fbit
+
+
+def _dedupe_and_prune(raw: Dict[int, int]) -> List[EquationOption]:
+    """Collapse options by read mask and drop dominated (superset) reads."""
+    ordered = sorted(raw.items(), key=lambda kv: (kv[0].bit_count(), kv[0]))
+    kept: List[EquationOption] = []
+    for read_mask, equation in ordered:
+        if not any(k.read_mask & read_mask == k.read_mask for k in kept):
+            kept.append(EquationOption(read_mask, equation))
+    return kept
+
+
+def gaussian_recovery_equations(
+    code: ErasureCode, failed_eids: List[int]
+) -> List[Optional[int]]:
+    """One guaranteed decoding equation per failed element, via elimination.
+
+    For a recoverable failure the parity-check columns of the failed
+    elements are independent, so for each failed element ``f_i`` there is a
+    row-space combination whose failed support is exactly ``{f_i}`` — the
+    classic matrix-method decoder [Hafner et al., FAST'05].  These equations
+    may be dense (they ignore read cost), but they make the search's option
+    sets complete for *any* recoverable failure, however deep the required
+    substitution chain.
+
+    Returns one equation mask per slot, or ``None`` for a slot whose element
+    is not isolatable (failure not recoverable).
+    """
+    from repro.gf2 import BitMatrix
+    from repro.gf2.linalg import solve
+
+    h_rows = code.parity_equations()
+    # B = transpose of H restricted to failed columns: |F| x mk
+    b = BitMatrix(len(h_rows))
+    for f in failed_eids:
+        col = 0
+        for i, row in enumerate(h_rows):
+            col |= ((row >> f) & 1) << i
+        b.rows.append(col)
+    out: List[Optional[int]] = []
+    for i in range(len(failed_eids)):
+        y = solve(b, 1 << i)
+        if y is None:
+            out.append(None)
+            continue
+        eq = 0
+        yy = y
+        while yy:
+            low = yy & -yy
+            eq ^= h_rows[low.bit_length() - 1]
+            yy ^= low
+        out.append(eq)
+    return out
+
+
+def get_recovery_equations(
+    code: ErasureCode,
+    failed_mask: int,
+    depth: int = 2,
+    max_options_per_element: Optional[int] = None,
+    ensure_complete: bool = False,
+) -> RecoveryEquations:
+    """Enumerate recovery equations for every failed element.
+
+    Parameters
+    ----------
+    code:
+        Any erasure code.
+    failed_mask:
+        Bitmask of failed elements (a whole disk via
+        :meth:`~repro.codes.layout.CodeLayout.disk_mask`, or any set —
+        Sec. V-D's "other failure situations").
+    depth:
+        Maximum number of original calculation equations XORed together.
+        Depth 1 reproduces the direct row/diagonal recovery of classic array
+        codes; 2-3 add substituted equations.
+    max_options_per_element:
+        Optional cap applied *after* dominance pruning, keeping the
+        cheapest-read options.  ``None`` keeps everything.
+    ensure_complete:
+        Append a Gaussian-elimination decoding equation
+        (:func:`gaussian_recovery_equations`) to any slot the bounded-depth
+        enumeration left empty, so every *recoverable* failure gets a
+        complete option set regardless of depth.
+    """
+    lay = code.layout
+    failed_eids = sorted(
+        d * lay.k_rows + r for d, r in lay.iter_elements(failed_mask)
+    )
+    slot_of = {f: i for i, f in enumerate(failed_eids)}
+    per_slot: List[Dict[int, int]] = [dict() for _ in failed_eids]
+
+    for eq in combination_closure(code.parity_equations(), depth):
+        fs = eq & failed_mask
+        if not fs:
+            continue
+        # usable exactly when recovering the highest-labelled failed member
+        slot = slot_of[fs.bit_length() - 1]
+        read_mask = eq & ~failed_mask
+        bucket = per_slot[slot]
+        prev = bucket.get(read_mask)
+        if prev is None:
+            bucket[read_mask] = eq
+    options = [_dedupe_and_prune(bucket) for bucket in per_slot]
+    if max_options_per_element is not None:
+        options = [opts[:max_options_per_element] for opts in options]
+    if ensure_complete and any(not opts for opts in options):
+        fallback = gaussian_recovery_equations(code, failed_eids)
+        for i, opts in enumerate(options):
+            if not opts and fallback[i] is not None:
+                eq = fallback[i]
+                options[i] = [EquationOption(eq & ~failed_mask, eq)]
+    return RecoveryEquations(
+        layout=lay,
+        failed_mask=failed_mask,
+        failed_eids=failed_eids,
+        options=options,
+        depth=depth,
+    )
+
+
+def exhaustive_recovery_equations(
+    code: ErasureCode,
+    failed_mask: int,
+    space_limit: int = 1 << 20,
+) -> RecoveryEquations:
+    """Enumerate the *entire* calculation-equation space (for validation).
+
+    Exponential in ``m*k`` — guarded by ``space_limit`` and meant for the
+    small codes in the test suite, where it certifies that the bounded-depth
+    enumeration loses nothing that matters.
+    """
+    originals = code.parity_equations()
+    n = len(originals)
+    if 1 << n > space_limit:
+        raise ValueError(
+            f"full closure has 2^{n} members, over the limit {space_limit}"
+        )
+    lay = code.layout
+    failed_eids = sorted(
+        d * lay.k_rows + r for d, r in lay.iter_elements(failed_mask)
+    )
+    slot_of = {f: i for i, f in enumerate(failed_eids)}
+    per_slot: List[Dict[int, int]] = [dict() for _ in failed_eids]
+    # Gray-code walk of the row space: one XOR per step.
+    acc = 0
+    for g in range(1, 1 << n):
+        acc ^= originals[(g & -g).bit_length() - 1]
+        fs = acc & failed_mask
+        if not fs:
+            continue
+        slot = slot_of[fs.bit_length() - 1]
+        read_mask = acc & ~failed_mask
+        per_slot[slot].setdefault(read_mask, acc)
+    options = [_dedupe_and_prune(bucket) for bucket in per_slot]
+    return RecoveryEquations(
+        layout=lay,
+        failed_mask=failed_mask,
+        failed_eids=failed_eids,
+        options=options,
+        depth=n,
+    )

@@ -1,0 +1,35 @@
+"""GF(2) and GF(2^w) linear-algebra substrate.
+
+This subpackage provides the binary linear algebra underlying every erasure
+code in :mod:`repro.codes`:
+
+* :class:`~repro.gf2.bitmatrix.BitMatrix` — a dense matrix over GF(2) whose
+  rows are Python integers (one bit per column).  Python's arbitrary-precision
+  integers give branch-free XOR row operations and O(words) ``bit_count``,
+  which is the fastest pure-Python representation for the matrix sizes that
+  appear here (up to a few hundred columns).
+* :mod:`~repro.gf2.linalg` — rank / solve / inverse / nullspace routines used
+  for recoverability and MDS verification.
+* :class:`~repro.gf2.field.GF2w` — small binary extension fields used by the
+  Cauchy Reed-Solomon bitmatrix construction.
+"""
+
+from repro.gf2.bitmatrix import BitMatrix
+from repro.gf2.field import GF2w
+from repro.gf2.linalg import (
+    inverse,
+    nullspace,
+    rank,
+    row_reduce,
+    solve,
+)
+
+__all__ = [
+    "BitMatrix",
+    "GF2w",
+    "inverse",
+    "nullspace",
+    "rank",
+    "row_reduce",
+    "solve",
+]

@@ -1,0 +1,240 @@
+"""Dense matrices over GF(2) with integer-bitmask rows.
+
+Each row of a :class:`BitMatrix` is stored as a single Python ``int`` whose
+bit ``j`` is the entry in column ``j``.  All row operations are therefore one
+arbitrary-precision XOR, and column popcounts are ``int.bit_count`` — the two
+operations the recovery search performs millions of times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+class BitMatrix:
+    """A mutable dense matrix over GF(2).
+
+    Parameters
+    ----------
+    ncols:
+        Number of columns.  Rows are masked to this width on insertion.
+    rows:
+        Optional iterable of row bitmasks (ints) or 0/1 sequences.
+    """
+
+    __slots__ = ("ncols", "rows")
+
+    def __init__(self, ncols: int, rows: Iterable = ()) -> None:
+        if ncols < 0:
+            raise ValueError(f"ncols must be non-negative, got {ncols}")
+        self.ncols = ncols
+        self.rows: List[int] = [self._coerce_row(r) for r in rows]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "BitMatrix":
+        """The n x n identity matrix."""
+        return cls(n, (1 << i for i in range(n)))
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "BitMatrix":
+        """An all-zero nrows x ncols matrix."""
+        return cls(ncols, [0] * nrows)
+
+    @classmethod
+    def from_dense(cls, table: Sequence[Sequence[int]]) -> "BitMatrix":
+        """Build from a list of 0/1 lists (row-major)."""
+        if not table:
+            return cls(0)
+        ncols = len(table[0])
+        m = cls(ncols)
+        for row in table:
+            if len(row) != ncols:
+                raise ValueError("ragged row in dense table")
+            m.rows.append(sum(1 << j for j, v in enumerate(row) if v & 1))
+        return m
+
+    def _coerce_row(self, row) -> int:
+        if isinstance(row, int):
+            value = row
+        else:
+            value = sum(1 << j for j, v in enumerate(row) if v & 1)
+        if value < 0:
+            raise ValueError("row bitmask must be non-negative")
+        if self.ncols < value.bit_length():
+            raise ValueError(
+                f"row needs {value.bit_length()} columns, matrix has {self.ncols}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def shape(self):
+        return (len(self.rows), self.ncols)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return self.ncols == other.ncols and self.rows == other.rows
+
+    def __hash__(self):
+        return hash((self.ncols, tuple(self.rows)))
+
+    def get(self, i: int, j: int) -> int:
+        """Entry at row i, column j (0 or 1)."""
+        self._check_col(j)
+        return (self.rows[i] >> j) & 1
+
+    def set(self, i: int, j: int, value: int) -> None:
+        """Set entry at row i, column j."""
+        self._check_col(j)
+        if value & 1:
+            self.rows[i] |= 1 << j
+        else:
+            self.rows[i] &= ~(1 << j)
+
+    def _check_col(self, j: int) -> None:
+        if not 0 <= j < self.ncols:
+            raise IndexError(f"column {j} out of range [0, {self.ncols})")
+
+    def append_row(self, row) -> None:
+        """Append a row (bitmask or 0/1 sequence)."""
+        self.rows.append(self._coerce_row(row))
+
+    def copy(self) -> "BitMatrix":
+        m = BitMatrix(self.ncols)
+        m.rows = list(self.rows)
+        return m
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def row_weight(self, i: int) -> int:
+        """Hamming weight of row i."""
+        return self.rows[i].bit_count()
+
+    def density(self) -> int:
+        """Total number of ones in the matrix."""
+        return sum(r.bit_count() for r in self.rows)
+
+    def column(self, j: int) -> int:
+        """Column j as a bitmask over rows (bit i = entry (i, j))."""
+        self._check_col(j)
+        out = 0
+        for i, r in enumerate(self.rows):
+            out |= ((r >> j) & 1) << i
+        return out
+
+    def transpose(self) -> "BitMatrix":
+        t = BitMatrix(len(self.rows))
+        t.rows = [self.column(j) for j in range(self.ncols)]
+        t.ncols = len(self.rows)
+        return t
+
+    def mul_vec(self, vec: int) -> int:
+        """Matrix-vector product over GF(2).
+
+        ``vec`` is a column-vector bitmask over ``ncols``; the result is a
+        bitmask over ``nrows`` (bit i set iff ``popcount(row_i & vec)`` odd).
+        """
+        out = 0
+        for i, r in enumerate(self.rows):
+            out |= ((r & vec).bit_count() & 1) << i
+        return out
+
+    def vec_mul(self, vec: int) -> int:
+        """Row-vector * matrix over GF(2).
+
+        ``vec`` selects rows (bit i = coefficient of row i); the result is the
+        XOR of the selected rows — a bitmask over ``ncols``.
+        """
+        out = 0
+        rows = self.rows
+        while vec:
+            low = vec & -vec
+            out ^= rows[low.bit_length() - 1]
+            vec ^= low
+        return out
+
+    def matmul(self, other: "BitMatrix") -> "BitMatrix":
+        """Matrix product ``self @ other`` over GF(2)."""
+        if self.ncols != other.nrows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        out = BitMatrix(other.ncols)
+        out.rows = [other.vec_mul(r) for r in self.rows]
+        return out
+
+    def __matmul__(self, other: "BitMatrix") -> "BitMatrix":
+        return self.matmul(other)
+
+    def add(self, other: "BitMatrix") -> "BitMatrix":
+        """Entry-wise XOR of two same-shape matrices."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} + {other.shape}")
+        out = BitMatrix(self.ncols)
+        out.rows = [a ^ b for a, b in zip(self.rows, other.rows)]
+        return out
+
+    def __add__(self, other: "BitMatrix") -> "BitMatrix":
+        return self.add(other)
+
+    def submatrix(self, row_idx: Sequence[int], col_idx: Sequence[int]) -> "BitMatrix":
+        """Select rows and columns (in the given order)."""
+        out = BitMatrix(len(col_idx))
+        for i in row_idx:
+            r = self.rows[i]
+            out.rows.append(
+                sum(((r >> j) & 1) << new_j for new_j, j in enumerate(col_idx))
+            )
+        return out
+
+    def hstack(self, other: "BitMatrix") -> "BitMatrix":
+        """Horizontal concatenation ``[self | other]``."""
+        if len(self.rows) != len(other.rows):
+            raise ValueError("row count mismatch in hstack")
+        out = BitMatrix(self.ncols + other.ncols)
+        out.rows = [a | (b << self.ncols) for a, b in zip(self.rows, other.rows)]
+        return out
+
+    def vstack(self, other: "BitMatrix") -> "BitMatrix":
+        """Vertical concatenation."""
+        if self.ncols != other.ncols:
+            raise ValueError("column count mismatch in vstack")
+        out = BitMatrix(self.ncols)
+        out.rows = self.rows + other.rows
+        return out
+
+    def is_zero(self) -> bool:
+        return all(r == 0 for r in self.rows)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dense(self) -> List[List[int]]:
+        return [[(r >> j) & 1 for j in range(self.ncols)] for r in self.rows]
+
+    def __repr__(self) -> str:
+        return f"BitMatrix({len(self.rows)}x{self.ncols})"
+
+    def pretty(self) -> str:
+        """Human-readable 0/1 grid (dots for zeros)."""
+        return "\n".join(
+            "".join("1" if (r >> j) & 1 else "." for j in range(self.ncols))
+            for r in self.rows
+        )

@@ -1,0 +1,127 @@
+"""Binary extension fields GF(2^w) and their bit-matrix representation.
+
+The Cauchy Reed-Solomon construction (Jerasure's workhorse for "any" erasure
+code) multiplies w-bit data words by field constants.  Over GF(2) a
+multiplication by the constant ``a`` is a linear map, i.e. a ``w x w`` bit
+matrix whose column ``j`` is ``a * x^j``.  :meth:`GF2w.mul_matrix` builds
+exactly that matrix, which plugs straight into the generator-matrix machinery
+of :mod:`repro.codes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gf2.bitmatrix import BitMatrix
+
+# Default primitive polynomials (low bits, excluding the x^w term), indexed by
+# w.  These match the polynomials used by Jerasure / classic RAID literature.
+PRIMITIVE_POLYS: Dict[int, int] = {
+    1: 0b1,          # x + 1
+    2: 0b11,         # x^2 + x + 1
+    3: 0b011,        # x^3 + x + 1
+    4: 0b0011,       # x^4 + x + 1
+    5: 0b00101,      # x^5 + x^2 + 1
+    6: 0b000011,     # x^6 + x + 1
+    7: 0b0001001,    # x^7 + x^3 + 1  (wait: use x^7 + x + 1? see below)
+    8: 0b00011101,   # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b000010001,  # x^9 + x^4 + 1
+    10: 0b0000001001,  # x^10 + x^3 + 1
+    16: 0b101101,    # x^16 + x^5 + x^3 + x^2 + 1 (smallest primitive)
+}
+# x^7: the standard primitive trinomial is x^7 + x + 1 (0b0000011); Jerasure
+# uses x^7 + x^3 + 1 which is also primitive.  Either works for MDS purposes.
+
+
+class GF2w:
+    """Arithmetic in GF(2^w) with log/antilog tables.
+
+    Parameters
+    ----------
+    w:
+        Field width in bits (1..16 supported by the default table).
+    poly:
+        Optional primitive polynomial (low bits).  Defaults to a standard
+        choice for the given ``w``.
+    """
+
+    def __init__(self, w: int, poly: int = None) -> None:
+        if poly is None:
+            if w not in PRIMITIVE_POLYS:
+                raise ValueError(f"no default primitive polynomial for w={w}")
+            poly = PRIMITIVE_POLYS[w]
+        self.w = w
+        self.poly = poly
+        self.size = 1 << w
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        size = self.size
+        exp: List[int] = [0] * (size - 1)
+        log: List[int] = [0] * size
+        x = 1
+        for i in range(size - 1):
+            if x == 1 and i > 0:
+                raise ValueError(
+                    f"polynomial {self.poly:#x} is not primitive for w={self.w}"
+                )
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & size:
+                x = (x & (size - 1)) ^ self.poly
+        if x != 1:
+            raise ValueError(
+                f"polynomial {self.poly:#x} is not primitive for w={self.w}"
+            )
+        self.exp = exp
+        self.log = log
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[(self.log[a] + self.log[b]) % (self.size - 1)]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^w)")
+        return self.exp[(self.size - 1 - self.log[a]) % (self.size - 1)]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation a**e (e may be negative for nonzero a)."""
+        if a == 0:
+            if e <= 0:
+                raise ZeroDivisionError("0 ** non-positive in GF(2^w)")
+            return 0
+        return self.exp[(self.log[a] * e) % (self.size - 1)]
+
+    # ------------------------------------------------------------------
+    def mul_matrix(self, a: int) -> BitMatrix:
+        """The ``w x w`` GF(2) matrix of multiplication by ``a``.
+
+        Bit convention: vectors are bitmasks with bit ``j`` the coefficient of
+        ``x^j``; entry ``(i, j)`` of the result is bit ``i`` of ``a * x^j``.
+        """
+        w = self.w
+        cols = [self.mul(a, 1 << j) for j in range(w)]
+        m = BitMatrix(w)
+        for i in range(w):
+            row = 0
+            for j in range(w):
+                row |= ((cols[j] >> i) & 1) << j
+            m.rows.append(row)
+        return m
+
+    def __repr__(self) -> str:
+        return f"GF2w(w={self.w}, poly={self.poly:#x})"

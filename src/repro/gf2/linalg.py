@@ -1,0 +1,137 @@
+"""Gaussian elimination over GF(2): rank, solve, inverse, nullspace.
+
+These routines operate on :class:`~repro.gf2.bitmatrix.BitMatrix` and are the
+workhorses behind recoverability checks (is the survivor matrix full rank?)
+and MDS verification of code constructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gf2.bitmatrix import BitMatrix
+
+
+def row_reduce(matrix: BitMatrix) -> Tuple[BitMatrix, List[int]]:
+    """Reduced row-echelon form.
+
+    Returns ``(rref, pivot_cols)`` where ``pivot_cols[i]`` is the pivot column
+    of row ``i`` of the echelon form.  The input is not modified.
+    """
+    rows = list(matrix.rows)
+    ncols = matrix.ncols
+    pivots: List[int] = []
+    rank_ = 0
+    for col in range(ncols):
+        bit = 1 << col
+        # find a pivot row at or below rank_
+        pivot = next((i for i in range(rank_, len(rows)) if rows[i] & bit), None)
+        if pivot is None:
+            continue
+        rows[rank_], rows[pivot] = rows[pivot], rows[rank_]
+        prow = rows[rank_]
+        for i in range(len(rows)):
+            if i != rank_ and rows[i] & bit:
+                rows[i] ^= prow
+        pivots.append(col)
+        rank_ += 1
+        if rank_ == len(rows):
+            break
+    out = BitMatrix(ncols)
+    out.rows = [r for r in rows if r] or []
+    # keep zero rows out of the echelon form; pivots align with kept rows
+    return out, pivots
+
+
+def rank(matrix: BitMatrix) -> int:
+    """Rank over GF(2)."""
+    _, pivots = row_reduce(matrix)
+    return len(pivots)
+
+
+def solve(matrix: BitMatrix, rhs: int) -> Optional[int]:
+    """Solve ``matrix @ x = rhs`` over GF(2).
+
+    ``rhs`` is a bitmask over the rows of ``matrix``; the solution (if any) is
+    returned as a bitmask over the columns.  Returns ``None`` when the system
+    is inconsistent.  When the system is under-determined an arbitrary
+    particular solution is returned (free variables set to zero).
+    """
+    nrows, ncols = matrix.shape
+    # augmented rows: [row | rhs bit] with the rhs in column `ncols`
+    rows = [
+        matrix.rows[i] | (((rhs >> i) & 1) << ncols) for i in range(nrows)
+    ]
+    pivots: List[int] = []
+    rank_ = 0
+    for col in range(ncols):
+        bit = 1 << col
+        pivot = next((i for i in range(rank_, nrows) if rows[i] & bit), None)
+        if pivot is None:
+            continue
+        rows[rank_], rows[pivot] = rows[pivot], rows[rank_]
+        prow = rows[rank_]
+        for i in range(nrows):
+            if i != rank_ and rows[i] & bit:
+                rows[i] ^= prow
+        pivots.append(col)
+        rank_ += 1
+        if rank_ == nrows:
+            break
+    rhs_bit = 1 << ncols
+    for i in range(rank_, nrows):
+        if rows[i] & rhs_bit:
+            return None  # 0 = 1 row: inconsistent
+    x = 0
+    for i, col in enumerate(pivots):
+        if rows[i] & rhs_bit:
+            x |= 1 << col
+    return x
+
+
+def inverse(matrix: BitMatrix) -> Optional[BitMatrix]:
+    """Inverse of a square matrix, or ``None`` if singular."""
+    n = matrix.ncols
+    if matrix.nrows != n:
+        raise ValueError(f"inverse of non-square matrix {matrix.shape}")
+    # augment with identity in the high columns
+    rows = [matrix.rows[i] | (1 << (n + i)) for i in range(n)]
+    rank_ = 0
+    for col in range(n):
+        bit = 1 << col
+        pivot = next((i for i in range(rank_, n) if rows[i] & bit), None)
+        if pivot is None:
+            return None
+        rows[rank_], rows[pivot] = rows[pivot], rows[rank_]
+        prow = rows[rank_]
+        for i in range(n):
+            if i != rank_ and rows[i] & bit:
+                rows[i] ^= prow
+        rank_ += 1
+    inv = BitMatrix(n)
+    inv.rows = [r >> n for r in rows]
+    return inv
+
+
+def nullspace(matrix: BitMatrix) -> List[int]:
+    """A basis of the (right) nullspace, as column bitmasks.
+
+    Every returned vector ``v`` satisfies ``matrix.mul_vec(v) == 0``.
+    """
+    ncols = matrix.ncols
+    rref, pivots = row_reduce(matrix)
+    pivot_set = set(pivots)
+    free_cols = [c for c in range(ncols) if c not in pivot_set]
+    basis: List[int] = []
+    for free in free_cols:
+        v = 1 << free
+        for i, pcol in enumerate(pivots):
+            if i < len(rref.rows) and (rref.rows[i] >> free) & 1:
+                v |= 1 << pcol
+        basis.append(v)
+    return basis
+
+
+def is_invertible(matrix: BitMatrix) -> bool:
+    """True iff the matrix is square and full rank."""
+    return matrix.nrows == matrix.ncols and rank(matrix) == matrix.ncols

@@ -1,0 +1,133 @@
+"""Polynomials over GF(2), represented as int bitmasks (bit i = x^i).
+
+Used to validate field-defining polynomials (irreducibility/primitivity for
+custom ``GF2w`` instances) and the ring algebra behind Blaum-Roth codes
+(``M_p(x) = 1 + x + ... + x^(p-1)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def degree(poly: int) -> int:
+    """Degree of a polynomial; -1 for the zero polynomial."""
+    return poly.bit_length() - 1
+
+
+def add(a: int, b: int) -> int:
+    """Addition over GF(2) (XOR)."""
+    return a ^ b
+
+
+def mul(a: int, b: int) -> int:
+    """Carry-less polynomial multiplication."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a <<= 1
+        b >>= 1
+    return out
+
+
+def divmod_poly(a: int, b: int) -> Tuple[int, int]:
+    """Polynomial division: returns (quotient, remainder)."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    q = 0
+    db = degree(b)
+    while degree(a) >= db:
+        shift = degree(a) - db
+        q ^= 1 << shift
+        a ^= b << shift
+    return q, a
+
+
+def mod(a: int, b: int) -> int:
+    """Polynomial remainder ``a mod b``."""
+    return divmod_poly(a, b)[1]
+
+
+def gcd(a: int, b: int) -> int:
+    """Polynomial greatest common divisor (monic by construction)."""
+    while b:
+        a, b = b, mod(a, b)
+    return a
+
+
+def mulmod(a: int, b: int, m: int) -> int:
+    """``a * b mod m``."""
+    return mod(mul(a, b), m)
+
+
+def powmod(a: int, e: int, m: int) -> int:
+    """``a^e mod m`` by square-and-multiply."""
+    if e < 0:
+        raise ValueError("negative exponent")
+    result = mod(1, m)
+    base = mod(a, m)
+    while e:
+        if e & 1:
+            result = mulmod(result, base, m)
+        base = mulmod(base, base, m)
+        e >>= 1
+    return result
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test over GF(2).
+
+    ``poly`` is irreducible iff ``x^(2^d) == x (mod poly)`` and for every
+    prime divisor ``q`` of ``d``, ``gcd(x^(2^(d/q)) - x, poly) == 1``.
+    """
+    d = degree(poly)
+    if d <= 0:
+        return False
+    if d == 1:
+        return True
+    if not poly & 1:
+        return False  # divisible by x
+    x = 0b10
+    if powmod(x, 1 << d, poly) != mod(x, poly):
+        return False
+    for q in _prime_factors(d):
+        h = powmod(x, 1 << (d // q), poly) ^ mod(x, poly)
+        if gcd(h, poly) != 1:
+            return False
+    return True
+
+
+def is_primitive(poly: int) -> bool:
+    """True iff ``poly`` is primitive: irreducible and ``x`` generates the
+    multiplicative group of GF(2^d)."""
+    d = degree(poly)
+    if not is_irreducible(poly):
+        return False
+    order = (1 << d) - 1
+    x = 0b10
+    for q in _prime_factors(order):
+        if powmod(x, order // q, poly) == 1:
+            return False
+    return True
+
+
+def all_ones(p: int) -> int:
+    """``M_p(x) = 1 + x + ... + x^(p-1)`` — the Blaum-Roth modulus."""
+    if p < 2:
+        raise ValueError(f"need p >= 2, got {p}")
+    return (1 << p) - 1
+
+
+def _prime_factors(n: int) -> List[int]:
+    out = []
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            out.append(f)
+            while n % f == 0:
+                n //= f
+        f += 1
+    if n > 1:
+        out.append(n)
+    return out

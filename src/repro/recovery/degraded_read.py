@@ -1,0 +1,118 @@
+"""Degraded reads: serving user I/O that touches lost elements.
+
+Between failure detection and rebuild completion, reads addressed to the
+failed disk must be reconstructed on the fly (Khan et al.'s second use case
+and the reason the paper excludes write-back from recovery time: degraded
+service quality is what matters during the window of vulnerability).
+
+A degraded read targets a *subset* of the failed disk's elements — usually
+one or a few rows — so its plan differs from whole-disk recovery: only the
+requested elements (plus whatever intermediate failed elements the chosen
+equations consume) need recovering.  We plan it as a failure mask containing
+exactly the requested elements and cost it with the U key, minimizing the
+most-loaded disk touched by this single request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codec.reconstructor import execute_scheme
+from repro.codes.base import ErasureCode
+from repro.equations.enumerate import get_recovery_equations
+from repro.recovery.scheme import RecoveryScheme
+from repro.recovery.search import generate_scheme, khan_cost, unconditional_cost
+
+
+def degraded_read_scheme(
+    code: ErasureCode,
+    failed_disk: int,
+    rows: Iterable[int],
+    algorithm: str = "u",
+    depth: int = 2,
+    max_expansions: Optional[int] = 200_000,
+) -> RecoveryScheme:
+    """Plan the reads needed to serve ``rows`` of a failed disk.
+
+    The plan recovers exactly the requested elements; surviving elements of
+    the same disk are read directly by the caller, and *other* rows of the
+    failed disk are treated as surviving-but-unreadable (they never appear
+    in the read set).
+    """
+    lay = code.layout
+    rows = sorted(set(rows))
+    if not rows:
+        raise ValueError("no rows requested")
+    target_mask = 0
+    for row in rows:
+        target_mask |= 1 << lay.eid(failed_disk, row)
+
+    # Equations may not touch the failed disk's un-requested elements: they
+    # are lost too.  Enumerate against the whole-disk failure mask but keep
+    # only the requested elements as recovery targets, letting equations use
+    # earlier *requested* elements (standard iteration).
+    disk_mask = lay.disk_mask(failed_disk)
+    rec_eqs = get_recovery_equations(
+        code, disk_mask, depth=depth, ensure_complete=True
+    )
+    keep = [
+        i for i, f in enumerate(rec_eqs.failed_eids) if (target_mask >> f) & 1
+    ]
+    # options for a kept slot may reference earlier failed elements that we
+    # are NOT recovering — drop those options
+    recovered_before = {}
+    allowed = 0
+    for i in keep:
+        f = rec_eqs.failed_eids[i]
+        recovered_before[i] = allowed
+        allowed |= 1 << f
+    pruned_options = []
+    for i in keep:
+        f = rec_eqs.failed_eids[i]
+        fbit = 1 << f
+        ok = [
+            opt
+            for opt in rec_eqs.options[i]
+            if not (opt.equation & disk_mask & ~(recovered_before[i] | fbit))
+        ]
+        pruned_options.append(ok)
+    rec_eqs.failed_eids = [rec_eqs.failed_eids[i] for i in keep]
+    rec_eqs.options = pruned_options
+    rec_eqs.failed_mask = target_mask
+
+    cost = unconditional_cost(lay) if algorithm == "u" else khan_cost(lay)
+    scheme = generate_scheme(
+        rec_eqs, cost, algorithm=f"degraded_{algorithm}", max_expansions=max_expansions
+    )
+    return scheme
+
+
+def build_degraded_plans(
+    code: ErasureCode,
+    failed_disk: int,
+    algorithm: str = "u",
+    depth: int = 2,
+) -> Dict[int, RecoveryScheme]:
+    """One degraded-read plan per row of the failed disk.
+
+    This is the lookup table the on-line service path needs (see
+    :meth:`repro.disksim.events.EventDrivenArray.run_online_recovery`):
+    a user read of row ``r`` on the failed disk executes ``plans[r]``.
+    """
+    return {
+        row: degraded_read_scheme(
+            code, failed_disk, rows=[row], algorithm=algorithm, depth=depth
+        )
+        for row in range(code.layout.k_rows)
+    }
+
+
+def serve_degraded_read(
+    code: ErasureCode,
+    scheme: RecoveryScheme,
+    stripe: np.ndarray,
+) -> Dict[int, np.ndarray]:
+    """Execute a degraded-read plan against one stripe's bytes."""
+    return execute_scheme(scheme, stripe)

@@ -1,0 +1,127 @@
+"""Failure escalation: a second disk dies mid-recovery.
+
+The window of vulnerability is not hypothetical — when disk B fails while
+disk A's rebuild is underway, the remaining work is a *mixed* situation:
+A's already-rebuilt rows are available in memory / on the spare (free), the
+rest of A and all of B are lost.  Re-planning from scratch would forget the
+free elements; this module plans the continuation properly:
+
+* already-recovered elements of A join the failure mask but receive a
+  zero-cost sentinel option ordered before everything else, so the search
+  may lean on them exactly like the iteration algorithm leans on
+  earlier-recovered elements;
+* the resulting scheme's sentinel slots are skipped at execution time and
+  their payloads taken from the caller's in-memory copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.equations.enumerate import (
+    EquationOption,
+    get_recovery_equations,
+)
+from repro.recovery.multifailure import UnrecoverableError
+from repro.recovery.scheme import RecoveryScheme
+from repro.recovery.search import (
+    generate_scheme,
+    khan_cost,
+    unconditional_cost,
+)
+
+
+def escalated_scheme(
+    code: ErasureCode,
+    primary_disk: int,
+    recovered_rows: Iterable[int],
+    secondary_disk: int,
+    algorithm: str = "u",
+    depth: int = 2,
+    max_expansions: Optional[int] = 2_000_000,
+) -> RecoveryScheme:
+    """Plan the continuation after ``secondary_disk`` fails mid-rebuild.
+
+    Parameters
+    ----------
+    primary_disk:
+        The disk whose rebuild was in progress.
+    recovered_rows:
+        Rows of the primary disk already rebuilt (available at no read
+        cost).
+    secondary_disk:
+        The newly failed disk.
+
+    Returns a scheme over the *entire* failed element set; slots whose
+    element was already recovered carry the sentinel equation ``1 << eid``
+    (recognisable by :func:`execute_escalated`).
+    """
+    lay = code.layout
+    if primary_disk == secondary_disk:
+        raise ValueError("primary and secondary disks must differ")
+    recovered_rows = sorted(set(recovered_rows))
+    for row in recovered_rows:
+        if not 0 <= row < lay.k_rows:
+            raise ValueError(f"row {row} out of range")
+    full_mask = lay.disk_mask(primary_disk) | lay.disk_mask(secondary_disk)
+    if not code.is_recoverable(full_mask):
+        raise UnrecoverableError(
+            f"disks {primary_disk} and {secondary_disk} together exceed "
+            f"{code.name}'s tolerance"
+        )
+    free_mask = 0
+    for row in recovered_rows:
+        free_mask |= 1 << lay.eid(primary_disk, row)
+
+    rec = get_recovery_equations(
+        code, full_mask, depth=depth, ensure_complete=True
+    )
+    # give already-recovered elements a free sentinel option; the sentinel
+    # wins any cost comparison (empty read set), so those slots never read
+    for i, f in enumerate(rec.failed_eids):
+        if (free_mask >> f) & 1:
+            rec.options[i] = [EquationOption(0, 1 << f)]
+
+    cost = unconditional_cost(lay) if algorithm == "u" else khan_cost(lay)
+    scheme = generate_scheme(
+        rec, cost, algorithm=f"escalated_{algorithm}", max_expansions=max_expansions
+    )
+    return scheme
+
+
+def execute_escalated(
+    scheme: RecoveryScheme,
+    stripe: np.ndarray,
+    in_memory: Dict[int, np.ndarray],
+) -> Dict[int, np.ndarray]:
+    """Execute an escalated plan against one stripe.
+
+    ``in_memory`` maps already-recovered eids to their payloads; sentinel
+    slots are served from it, everything else XORs like a normal scheme.
+    """
+    lay = scheme.layout
+    failed_mask = scheme.failed_mask
+    out: Dict[int, np.ndarray] = {}
+    for f, eq in zip(scheme.failed_eids, scheme.equations):
+        if eq == 1 << f:  # sentinel: already recovered
+            if f not in in_memory:
+                raise KeyError(f"element {f} marked in-memory but not supplied")
+            out[f] = in_memory[f]
+            continue
+        members = eq & ~(1 << f)
+        acc = np.zeros(stripe.shape[1], dtype=np.uint8)
+        m = members
+        while m:
+            low = m & -m
+            eid = low.bit_length() - 1
+            m ^= low
+            if (failed_mask >> eid) & 1:
+                source = out[eid]
+            else:
+                source = stripe[eid]
+            np.bitwise_xor(acc, source, out=acc)
+        out[f] = acc
+    return out

@@ -1,0 +1,155 @@
+"""Precomputed recovery plans (paper Sec. II-B).
+
+"The number of different single disk failure situations is equal to the
+number of disks, so we can find the recovery schemes for each single disk
+failure situation ahead of time and directly use them whenever they are
+needed."  :class:`RecoveryPlanner` is that cache, with JSON round-tripping so
+plans survive process restarts — the schemes are deterministic, so a reload
+is byte-identical to a regeneration.
+For wide arrays the per-disk searches are independent CPU-bound work, so
+:meth:`RecoveryPlanner.generate_all_parallel` fans them out over a process
+pool — the per-situation precomputation parallelises embarrassingly.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.codes.base import ErasureCode
+from repro.recovery.calgorithm import c_scheme
+from repro.recovery.khan import khan_scheme
+from repro.recovery.naive import naive_scheme
+from repro.recovery.scheme import RecoveryScheme
+from repro.recovery.ualgorithm import u_scheme
+
+
+def _generate_one(args) -> "RecoveryScheme":
+    """Process-pool worker: generate one disk's scheme (top-level so it
+    pickles)."""
+    code, algorithm, depth, max_expansions, disk = args
+    planner = RecoveryPlanner(code, algorithm, depth, max_expansions)
+    return planner._generate(disk)
+
+
+class RecoveryPlanner:
+    """Per-disk recovery scheme cache for one code instance."""
+
+    def __init__(
+        self,
+        code: ErasureCode,
+        algorithm: str = "u",
+        depth: int = 2,
+        max_expansions: Optional[int] = 2_000_000,
+    ) -> None:
+        if algorithm not in ("naive", "khan", "c", "u"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.code = code
+        self.algorithm = algorithm
+        self.depth = depth
+        self.max_expansions = max_expansions
+        self._cache: Dict[int, RecoveryScheme] = {}
+
+    def scheme_for_disk(self, disk: int) -> RecoveryScheme:
+        """The (cached) scheme for a single failed disk."""
+        if disk not in self._cache:
+            self._cache[disk] = self._generate(disk)
+        return self._cache[disk]
+
+    def _generate(self, disk: int) -> RecoveryScheme:
+        if self.algorithm == "naive":
+            return naive_scheme(self.code, disk)
+        kwargs = dict(depth=self.depth, max_expansions=self.max_expansions)
+        if self.algorithm == "khan":
+            return khan_scheme(self.code, disk, **kwargs)
+        if self.algorithm == "c":
+            return c_scheme(self.code, disk, **kwargs)
+        return u_scheme(self.code, disk, **kwargs)
+
+    def all_data_disk_schemes(self) -> List[RecoveryScheme]:
+        """Schemes for every user-data disk (the paper's Fig. 3/4 setup)."""
+        return [self.scheme_for_disk(d) for d in self.code.layout.data_disks]
+
+    def all_disk_schemes(self) -> List[RecoveryScheme]:
+        """Schemes for every disk, parity included."""
+        return [self.scheme_for_disk(d) for d in range(self.code.layout.n_disks)]
+
+    def generate_all_parallel(
+        self, workers: int = 2, include_parity: bool = True
+    ) -> List[RecoveryScheme]:
+        """Precompute all per-disk schemes on a process pool.
+
+        Each single-disk failure situation is an independent search, so
+        this is an embarrassingly parallel fan-out; results land in the
+        cache exactly as sequential generation would (the searches are
+        deterministic).  Falls back to sequential generation for one
+        worker.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        disks = (
+            range(self.code.layout.n_disks)
+            if include_parity
+            else self.code.layout.data_disks
+        )
+        todo = [d for d in disks if d not in self._cache]
+        if todo:
+            if workers == 1:
+                for d in todo:
+                    self._cache[d] = self._generate(d)
+            else:
+                jobs = [
+                    (self.code, self.algorithm, self.depth, self.max_expansions, d)
+                    for d in todo
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for d, scheme in zip(todo, pool.map(_generate_one, jobs)):
+                        self._cache[d] = scheme
+        return [self._cache[d] for d in disks]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise the cached schemes to JSON."""
+        payload = {
+            "code": self.code.describe(),
+            "algorithm": self.algorithm,
+            "depth": self.depth,
+            "schemes": {
+                str(disk): {
+                    "failed_mask": s.failed_mask,
+                    "failed_eids": s.failed_eids,
+                    "equations": s.equations,
+                    "read_mask": s.read_mask,
+                    "exact": s.exact,
+                    "expanded_states": s.expanded_states,
+                }
+                for disk, s in self._cache.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Load previously saved schemes; returns how many were restored."""
+        payload = json.loads(Path(path).read_text())
+        if payload["algorithm"] != self.algorithm:
+            raise ValueError(
+                f"plan file is for algorithm {payload['algorithm']!r}, "
+                f"planner uses {self.algorithm!r}"
+            )
+        for disk_str, raw in payload["schemes"].items():
+            scheme = RecoveryScheme(
+                layout=self.code.layout,
+                failed_mask=raw["failed_mask"],
+                failed_eids=list(raw["failed_eids"]),
+                equations=list(raw["equations"]),
+                read_mask=raw["read_mask"],
+                algorithm=self.algorithm,
+                exact=raw["exact"],
+                expanded_states=raw["expanded_states"],
+            )
+            self._cache[int(disk_str)] = scheme
+        return len(payload["schemes"])

@@ -1,0 +1,278 @@
+"""The unified scheme-generation search engine.
+
+All three generators of the paper are uniform-cost searches over the same
+state space — ``(slot, read_mask)`` where ``slot`` counts recovered failed
+elements and ``read_mask`` accumulates the surviving elements read — and
+differ only in the **cost key**:
+
+==============  =============================  ==============================
+algorithm       key                            meaning
+==============  =============================  ==============================
+Khan (FAST'12)  ``(total,)``                   min total read, arbitrary tie
+C-Algorithm     ``(total, max_load)``          min total, tie-break balance
+U-Algorithm     ``(max_load, total)``          min max load, tie-break total
+heterogeneous   ``(max_wload, total_wload)``   Sec. V-D weighted variant
+==============  =============================  ==============================
+
+Both coordinates are monotone non-decreasing under set union, so plain UCS
+pops goals in optimal lexicographic order: the first complete state popped is
+the algorithm's answer.  The U-Algorithm's bucketed ``rec_list[r]`` traversal
+(paper Algorithm 1 + the Sec. IV-B tie-break revision) is exactly UCS on
+``(max_load, total)`` — a binary heap replaces the explicit sublists.
+
+Pruning (the paper keeps Khan's pruning and adds none):
+
+* *closed set* — a ``read_mask`` revisited at the same slot with a key no
+  better is dropped;
+* *subset dominance* — a state whose read set is a superset of a
+  same-or-better state at the same slot can never win, because every
+  completion of the superset is matched by a no-worse completion of the
+  subset (costs are monotone in set inclusion);
+* *state budget* — the problem is NP-hard (Sec. II-B); an optional budget
+  bounds worst-case blowup.  When exhausted, the best frontier state is
+  completed greedily and the scheme is flagged ``exact=False``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.codes.layout import CodeLayout
+from repro.equations.enumerate import RecoveryEquations
+from repro.recovery.scheme import RecoveryScheme
+
+#: a cost key: maps a read mask to a lexicographic tuple (monotone in mask)
+CostFn = Callable[[int], Tuple]
+
+
+def khan_cost(layout: CodeLayout) -> CostFn:
+    """Minimize total read volume only (ties broken by pop order)."""
+
+    def key(mask: int) -> Tuple:
+        return (mask.bit_count(),)
+
+    return key
+
+
+def conditional_cost(layout: CodeLayout) -> CostFn:
+    """Minimal total read first, then minimal max per-disk load."""
+
+    def key(mask: int) -> Tuple:
+        return (mask.bit_count(), layout.max_load(mask))
+
+    return key
+
+
+def unconditional_cost(layout: CodeLayout) -> CostFn:
+    """Minimal max per-disk load first, then minimal total read."""
+
+    def key(mask: int) -> Tuple:
+        return (layout.max_load(mask), mask.bit_count())
+
+    return key
+
+
+def weighted_cost(layout: CodeLayout, weights: Sequence[float]) -> CostFn:
+    """Heterogeneous U-Algorithm: per-disk read costs (Sec. V-D)."""
+    if len(weights) != layout.n_disks:
+        raise ValueError(
+            f"need {layout.n_disks} weights, got {len(weights)}"
+        )
+    k = layout.k_rows
+    window = (1 << k) - 1
+    w = list(weights)
+
+    def key(mask: int) -> Tuple:
+        best = 0.0
+        total = 0.0
+        for d in range(layout.n_disks):
+            c = ((mask >> (d * k)) & window).bit_count()
+            if c:
+                cost = c * w[d]
+                total += cost
+                if cost > best:
+                    best = cost
+        return (best, total)
+
+    return key
+
+
+@dataclass
+class SearchStats:
+    """Effort counters for Sec. V-B style running-time analysis."""
+
+    expanded: int = 0
+    pushed: int = 0
+    pruned_closed: int = 0
+    pruned_dominated: int = 0
+    budget_exhausted: bool = False
+
+
+class _DominanceIndex:
+    """Per-slot Pareto store of (read_mask, key) for subset-dominance tests.
+
+    Entries are kept sorted by key so a lookup stops at the first entry whose
+    key exceeds the query key — only better-or-equal keys can dominate.
+    """
+
+    __slots__ = ("keys", "masks", "limit")
+
+    def __init__(self, limit: int) -> None:
+        self.keys: List[Tuple] = []
+        self.masks: List[int] = []
+        self.limit = limit
+
+    def dominated(self, mask: int, key: Tuple) -> bool:
+        keys = self.keys
+        masks = self.masks
+        for i in range(len(keys)):
+            if keys[i] > key:
+                return False
+            m = masks[i]
+            if m & mask == m and m != mask:
+                return True
+        return False
+
+    def add(self, mask: int, key: Tuple) -> None:
+        if len(self.keys) >= self.limit:
+            return
+        i = bisect.bisect_right(self.keys, key)
+        self.keys.insert(i, key)
+        self.masks.insert(i, mask)
+
+
+def generate_scheme(
+    rec_eqs: RecoveryEquations,
+    cost_fn: CostFn,
+    algorithm: str,
+    max_expansions: Optional[int] = 2_000_000,
+    dominance_limit: int = 0,
+) -> RecoveryScheme:
+    """Run the unified UCS and return the winning scheme.
+
+    Parameters
+    ----------
+    rec_eqs:
+        Output of :func:`repro.equations.get_recovery_equations`.
+    cost_fn:
+        One of the cost factories above (or any monotone key).
+    algorithm:
+        Label recorded on the scheme.
+    max_expansions:
+        State budget; ``None`` for unlimited.
+    dominance_limit:
+        Per-slot cap on the subset-dominance store.  Defaults to 0
+        (disabled): for the array codes in this repository the closed-set
+        dedup already collapses the union lattice and dominance prunes no
+        additional states while costing a linear scan per push — see
+        ``benchmarks/bench_ablation_pruning.py``.
+    """
+    if not rec_eqs.is_complete():
+        missing = [
+            rec_eqs.failed_eids[i]
+            for i, opts in enumerate(rec_eqs.options)
+            if not opts
+        ]
+        raise ValueError(
+            f"no recovery equations for elements {missing}; raise the "
+            "enumeration depth or check recoverability"
+        )
+    n_slots = rec_eqs.n_failed
+    stats = SearchStats()
+
+    # states: parallel arrays id -> (slot, mask, parent, eq)
+    slots = [0]
+    masks = [0]
+    parents = [-1]
+    eqs_used = [0]
+
+    heap: List[Tuple[Tuple, int]] = [(cost_fn(0), 0)]
+    closed = [dict() for _ in range(n_slots + 1)]
+    use_dominance = dominance_limit > 0
+    dominance = (
+        [_DominanceIndex(dominance_limit) for _ in range(n_slots + 1)]
+        if use_dominance
+        else None
+    )
+
+    goal_id = -1
+    budget_left = max_expansions if max_expansions is not None else float("inf")
+    best_frontier: Tuple[Tuple, int] = (cost_fn(0), 0)
+
+    while heap:
+        key, sid = heapq.heappop(heap)
+        slot = slots[sid]
+        mask = masks[sid]
+        prev = closed[slot].get(mask)
+        if prev is not None and prev < key:
+            continue  # stale heap entry
+        if slot == n_slots:
+            goal_id = sid
+            break
+        stats.expanded += 1
+        budget_left -= 1
+        if budget_left < 0:
+            stats.budget_exhausted = True
+            best_frontier = (key, sid)
+            break
+        for opt in rec_eqs.options[slot]:
+            new_mask = mask | opt.read_mask
+            new_key = cost_fn(new_mask)
+            new_slot = slot + 1
+            seen = closed[new_slot].get(new_mask)
+            if seen is not None and seen <= new_key:
+                stats.pruned_closed += 1
+                continue
+            if use_dominance:
+                if dominance[new_slot].dominated(new_mask, new_key):
+                    stats.pruned_dominated += 1
+                    continue
+                dominance[new_slot].add(new_mask, new_key)
+            closed[new_slot][new_mask] = new_key
+            slots.append(new_slot)
+            masks.append(new_mask)
+            parents.append(sid)
+            eqs_used.append(opt.equation)
+            heapq.heappush(heap, (new_key, len(slots) - 1))
+            stats.pushed += 1
+
+    exact = True
+    if goal_id < 0:
+        if not stats.budget_exhausted:
+            raise ValueError("search exhausted without covering all failed elements")
+        # greedy completion from the best frontier state
+        exact = False
+        _, sid = best_frontier
+        while slots[sid] < n_slots:
+            slot, mask = slots[sid], masks[sid]
+            best = min(
+                rec_eqs.options[slot],
+                key=lambda opt: cost_fn(mask | opt.read_mask),
+            )
+            slots.append(slot + 1)
+            masks.append(mask | best.read_mask)
+            parents.append(sid)
+            eqs_used.append(best.equation)
+            sid = len(slots) - 1
+        goal_id = sid
+
+    chain: List[int] = []
+    sid = goal_id
+    while parents[sid] >= 0:
+        chain.append(eqs_used[sid])
+        sid = parents[sid]
+    chain.reverse()
+
+    return RecoveryScheme(
+        layout=rec_eqs.layout,
+        failed_mask=rec_eqs.failed_mask,
+        failed_eids=list(rec_eqs.failed_eids),
+        equations=chain,
+        read_mask=masks[goal_id],
+        algorithm=algorithm,
+        exact=exact,
+        expanded_states=stats.expanded,
+    )

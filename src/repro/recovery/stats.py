@@ -1,0 +1,81 @@
+"""Scheme statistics beyond the two headline metrics.
+
+The paper's key mechanism — "the overlapping elements are read once but
+utilized twice" (Sec. II-B, describing Xiang's RDP schemes) — is observable
+as the *overlap factor*: total equation-support touches divided by unique
+elements read.  These helpers quantify that and related distributional
+properties for analysis, docs and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.recovery.scheme import RecoveryScheme
+
+
+@dataclass(frozen=True)
+class SchemeStats:
+    """Derived statistics of one recovery scheme."""
+
+    total_reads: int
+    max_load: int
+    support_touches: int      # sum over equations of surviving members
+    overlap_factor: float     # touches / unique reads (1.0 = no reuse)
+    reused_elements: int      # elements appearing in >= 2 equations
+    failed_reuse: int         # recovered elements fed into later equations
+    idle_disks: int           # surviving disks with zero reads
+
+
+def scheme_stats(scheme: RecoveryScheme) -> SchemeStats:
+    """Compute reuse/overlap statistics for a scheme."""
+    lay = scheme.layout
+    touch_count: Dict[int, int] = {}
+    failed_reuse = 0
+    recovered = 0
+    for f, eq in zip(scheme.failed_eids, scheme.equations):
+        surviving = eq & ~scheme.failed_mask
+        m = surviving
+        while m:
+            low = m & -m
+            eid = low.bit_length() - 1
+            touch_count[eid] = touch_count.get(eid, 0) + 1
+            m ^= low
+        if eq & recovered:
+            failed_reuse += (eq & recovered).bit_count()
+        recovered |= 1 << f
+    touches = sum(touch_count.values())
+    unique = len(touch_count)
+    loads = scheme.loads
+    failed_disks = {lay.disk_of(f) for f in scheme.failed_eids}
+    idle = sum(
+        1
+        for d, load in enumerate(loads)
+        if load == 0 and d not in failed_disks
+    )
+    return SchemeStats(
+        total_reads=scheme.total_reads,
+        max_load=scheme.max_load,
+        support_touches=touches,
+        overlap_factor=(touches / unique) if unique else 1.0,
+        reused_elements=sum(1 for c in touch_count.values() if c >= 2),
+        failed_reuse=failed_reuse,
+        idle_disks=idle,
+    )
+
+
+def compare_stats(schemes: Dict[str, RecoveryScheme]) -> str:
+    """Render a comparison table of scheme statistics."""
+    lines = [
+        f"{'scheme':10s} {'total':>6s} {'max':>4s} {'overlap':>8s} "
+        f"{'reused':>7s} {'fail-reuse':>10s} {'idle':>5s}"
+    ]
+    for name, scheme in schemes.items():
+        s = scheme_stats(scheme)
+        lines.append(
+            f"{name:10s} {s.total_reads:6d} {s.max_load:4d} "
+            f"{s.overlap_factor:8.2f} {s.reused_elements:7d} "
+            f"{s.failed_reuse:10d} {s.idle_disks:5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_labelled(self):
+        out = ascii_plot([1, 2], {"s": [5.0, 10.0]})
+        assert "10.00" in out and "5.00" in out
+
+    def test_title_and_ylabel(self):
+        out = ascii_plot([1], {"s": [1.0]}, title="T", y_label="MB/s")
+        assert out.startswith("T\n")
+        assert "(MB/s)" in out
+
+    def test_constant_series(self):
+        out = ascii_plot([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert out.count("o") >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"s": [1.0]}, height=1)
+
+    def test_monotone_series_orders_rows(self):
+        """Increasing values move up the grid."""
+        out = ascii_plot([1, 2], {"s": [0.0, 10.0]}, height=5)
+        lines = out.splitlines()
+        rows_with_glyph = [i for i, l in enumerate(lines) if "o" in l and "|" in l]
+        first, second = rows_with_glyph
+        # higher value appears on an earlier (upper) line
+        assert first < second
+
+    def test_many_series_glyph_cycling(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(8)}
+        out = ascii_plot([1, 2], series)
+        assert "#=s4" in out  # glyphs cycle through the palette

@@ -1,0 +1,52 @@
+"""Tests for CSV export of figure series."""
+
+import pytest
+
+from repro.analysis.export import (
+    read_series_csv,
+    series_to_csv,
+    write_series_csv,
+)
+
+
+@pytest.fixture
+def series():
+    return [7, 8, 9], {"khan": [5.0, 4.8, 8.7], "u": [4.0, 4.0, 7.0]}
+
+
+class TestCsv:
+    def test_header_and_rows(self, series):
+        xs, data = series
+        text = series_to_csv(xs, data)
+        lines = text.strip().splitlines()
+        assert lines[0] == "disks,khan,u"
+        assert lines[1].startswith("7,5.0,")
+        assert len(lines) == 4
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            series_to_csv([1, 2], {"a": [1.0]})
+
+    def test_roundtrip(self, series, tmp_path):
+        xs, data = series
+        path = write_series_csv(tmp_path / "fig.csv", xs, data)
+        x_label, xs2, data2 = read_series_csv(path)
+        assert x_label == "disks"
+        assert xs2 == xs
+        assert data2 == data
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "e.csv"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            read_series_csv(p)
+
+    def test_real_series_roundtrip(self, tmp_path):
+        from repro.analysis import SchemeCache, figure3_series
+
+        cache = SchemeCache(depth=1)
+        s = figure3_series("rdp", range(7, 9), cache=cache)
+        path = write_series_csv(tmp_path / "rdp.csv", [7, 8], s)
+        _, xs, back = read_series_csv(path)
+        assert xs == [7, 8]
+        assert back["u"] == s["u"]

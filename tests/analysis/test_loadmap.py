@@ -1,0 +1,65 @@
+"""Tests for the load-map analysis helpers."""
+
+import pytest
+
+from repro.analysis.loadmap import (
+    balance_summary,
+    load_matrix,
+    load_matrix_for_algorithm,
+    render_load_map,
+)
+from repro.codes import RdpCode
+from repro.recovery import RecoveryPlanner
+
+
+@pytest.fixture(scope="module")
+def rdp7():
+    return RdpCode(7)
+
+
+@pytest.fixture(scope="module")
+def u_matrix(rdp7):
+    return load_matrix_for_algorithm(rdp7, "u", depth=1)
+
+
+class TestLoadMatrix:
+    def test_shape(self, rdp7, u_matrix):
+        assert len(u_matrix) == rdp7.layout.n_data
+        assert all(len(row) == rdp7.layout.n_disks for row in u_matrix)
+
+    def test_failed_disk_never_read(self, u_matrix):
+        for f, row in enumerate(u_matrix):
+            assert row[f] == 0
+
+    def test_matches_schemes(self, rdp7):
+        planner = RecoveryPlanner(rdp7, "khan", depth=1)
+        schemes = planner.all_data_disk_schemes()
+        matrix = load_matrix(rdp7, schemes)
+        for scheme, row in zip(schemes, matrix):
+            assert sum(row) == scheme.total_reads
+
+
+class TestRendering:
+    def test_table_structure(self, rdp7, u_matrix):
+        table = render_load_map(rdp7, u_matrix)
+        lines = table.splitlines()
+        assert len(lines) == 3 + len(u_matrix)
+        assert "failed" in lines[1]
+        assert "total" in lines[1]
+
+    def test_values_present(self, rdp7, u_matrix):
+        table = render_load_map(rdp7, u_matrix)
+        assert str(sum(u_matrix[0])) in table
+
+
+class TestSummary:
+    def test_u_balances_better_than_khan(self, rdp7, u_matrix):
+        khan = load_matrix_for_algorithm(rdp7, "khan", depth=1)
+        s_u = balance_summary(u_matrix)
+        s_k = balance_summary(khan)
+        assert s_u["mean_max_load"] <= s_k["mean_max_load"]
+        assert s_u["worst_max_load"] <= s_k["worst_max_load"]
+
+    def test_summary_keys(self, u_matrix):
+        s = balance_summary(u_matrix)
+        assert set(s) == {"mean_max_load", "worst_max_load", "mean_total"}

@@ -1,0 +1,52 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis import SchemeCache
+from repro.analysis.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    cache = SchemeCache(depth=1, cache_dir=tmp_path_factory.mktemp("rep"))
+    return generate_report(
+        disk_range=range(7, 9),
+        families=("rdp",),
+        cache=cache,
+        include_reliability=True,
+        reliability_trials=50,
+    )
+
+
+class TestReport:
+    def test_contains_case_studies(self, report):
+        assert "Figure 1" in report
+        assert "Figure 2" in report
+        assert "18.5%" in report  # paper reference value quoted
+
+    def test_contains_series(self, report):
+        assert "Figure 3/4 — rdp" in report
+        assert "avg recovery speed" in report
+
+    def test_contains_aggregates(self, report):
+        assert "Aggregate improvements" in report
+        assert "c-scheme" in report and "u-scheme" in report
+
+    def test_contains_reliability(self, report):
+        assert "window of vulnerability" in report
+        assert "P(loss" in report
+
+    def test_reliability_optional(self, tmp_path):
+        cache = SchemeCache(depth=1, cache_dir=tmp_path)
+        text = generate_report(
+            disk_range=range(7, 8),
+            families=("rdp",),
+            cache=cache,
+            include_reliability=False,
+        )
+        assert "window of vulnerability" not in text
+
+    def test_markdown_structure(self, report):
+        # one h1, several h2 sections
+        assert report.startswith("# ")
+        assert report.count("\n## ") >= 4

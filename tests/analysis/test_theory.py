@@ -1,0 +1,84 @@
+"""The search engine against the literature's closed-form optima.
+
+Xiang et al. proved the minimum read volume for single-data-disk recovery
+of unshortened RDP and EVENODD; the NP-hard search must land exactly on
+those numbers, which makes the formulas an independent oracle for the
+entire pipeline (construction -> equations -> search).
+"""
+
+import pytest
+
+from repro.analysis.theory import (
+    evenodd_naive_reads,
+    evenodd_optimal_reads,
+    rdp_balanced_max_load,
+    rdp_naive_reads,
+    rdp_optimal_reads,
+    saving_percent,
+)
+from repro.codes import EvenOddCode, RdpCode
+from repro.recovery import khan_scheme, naive_scheme, u_scheme
+
+PRIMES = [5, 7, 11]
+
+
+class TestFormulas:
+    def test_rdp_saving_is_25_percent(self):
+        for p in PRIMES:
+            assert saving_percent(
+                rdp_naive_reads(p), rdp_optimal_reads(p)
+            ) == pytest.approx(25.0)
+
+    def test_validation(self):
+        for fn in (rdp_naive_reads, rdp_optimal_reads,
+                   evenodd_naive_reads, evenodd_optimal_reads):
+            with pytest.raises(ValueError):
+                fn(2)
+
+    def test_evenodd_optimal_below_naive(self):
+        for p in PRIMES:
+            assert evenodd_optimal_reads(p) < evenodd_naive_reads(p)
+
+
+@pytest.mark.parametrize("p", PRIMES)
+class TestSearchMatchesTheoryRdp:
+    def test_naive_reads(self, p):
+        assert naive_scheme(RdpCode(p), 0).total_reads == rdp_naive_reads(p)
+
+    def test_khan_hits_optimum_every_disk(self, p):
+        code = RdpCode(p)
+        for disk in code.layout.data_disks:
+            assert khan_scheme(code, disk, depth=1).total_reads == rdp_optimal_reads(p)
+
+    def test_u_scheme_balances_perfectly(self, p):
+        code = RdpCode(p)
+        for disk in code.layout.data_disks:
+            s = u_scheme(code, disk, depth=1)
+            assert s.max_load == rdp_balanced_max_load(p)
+            assert s.total_reads == rdp_optimal_reads(p)
+
+
+@pytest.mark.parametrize("p", [5, 7])
+class TestSearchMatchesTheoryEvenOdd:
+    def test_naive_reads(self, p):
+        assert naive_scheme(EvenOddCode(p), 0).total_reads == evenodd_naive_reads(p)
+
+    def test_khan_hits_optimum_at_depth2(self, p):
+        """EVENODD needs *combined* equations to reach Xiang's optimum on
+        some disks (depth 1 leaves 1-4 extra reads) — the substituted
+        equations of the iteration algorithm [10] at work."""
+        code = EvenOddCode(p)
+        for disk in code.layout.data_disks:
+            assert (
+                khan_scheme(code, disk, depth=2).total_reads
+                == evenodd_optimal_reads(p)
+            )
+
+    def test_depth1_close_but_not_always_optimal(self, p):
+        code = EvenOddCode(p)
+        totals = [
+            khan_scheme(code, d, depth=1).total_reads
+            for d in code.layout.data_disks
+        ]
+        assert min(totals) == evenodd_optimal_reads(p)
+        assert max(totals) <= evenodd_optimal_reads(p) + p

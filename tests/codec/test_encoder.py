@@ -1,0 +1,70 @@
+"""Tests for the stripe encoder."""
+
+import numpy as np
+import pytest
+
+from repro.codec import StripeCodec
+from repro.codes import CauchyRSCode, EvenOddCode, RdpCode, StarCode
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return StripeCodec(RdpCode(5), element_size=32)
+
+
+class TestEncode:
+    def test_stripe_shape(self, codec):
+        stripe = codec.encode(codec.random_data(np.random.default_rng(0)))
+        lay = codec.code.layout
+        assert stripe.shape == (lay.n_elements, 32)
+
+    def test_data_passthrough(self, codec):
+        data = codec.random_data(np.random.default_rng(1))
+        stripe = codec.encode(data)
+        lay = codec.code.layout
+        assert np.array_equal(stripe[: lay.n_data_elements], data)
+
+    def test_equations_hold_bytewise(self, codec):
+        stripe = codec.encode(codec.random_data(np.random.default_rng(2)))
+        assert codec.check_stripe(stripe)
+
+    def test_corruption_detected(self, codec):
+        stripe = codec.encode(codec.random_data(np.random.default_rng(3)))
+        stripe[0, 0] ^= 0xFF
+        assert not codec.check_stripe(stripe)
+
+    def test_bad_data_shape_rejected(self, codec):
+        with pytest.raises(ValueError, match="shape"):
+            codec.encode(np.zeros((3, 32), dtype=np.uint8))
+
+    def test_bad_element_size_rejected(self):
+        with pytest.raises(ValueError):
+            StripeCodec(RdpCode(5), element_size=0)
+
+    def test_zero_data_gives_zero_parity(self, codec):
+        lay = codec.code.layout
+        data = np.zeros((lay.n_data_elements, 32), dtype=np.uint8)
+        stripe = codec.encode(data)
+        assert not stripe.any()
+
+    @pytest.mark.parametrize(
+        "code_factory",
+        [
+            lambda: EvenOddCode(5),
+            lambda: StarCode(5),
+            lambda: CauchyRSCode(4, 3, w=4),
+        ],
+        ids=["evenodd", "star", "cauchy"],
+    )
+    def test_all_families_encode_consistently(self, code_factory):
+        code = code_factory()
+        codec = StripeCodec(code, element_size=16)
+        stripe = codec.encode(codec.random_data(np.random.default_rng(4)))
+        assert codec.check_stripe(stripe)
+
+    def test_linearity(self, codec):
+        """XOR of two codewords is a codeword."""
+        rng = np.random.default_rng(5)
+        a = codec.encode(codec.random_data(rng))
+        b = codec.encode(codec.random_data(rng))
+        assert codec.check_stripe(a ^ b)

@@ -1,0 +1,60 @@
+"""Tests for the density-optimized Cauchy construction."""
+
+import pytest
+
+from repro.codec import verify_scheme_on_random_data
+from repro.codes import CauchyGoodRSCode, CauchyRSCode, make_code
+from repro.recovery import u_scheme
+
+
+class TestCauchyGood:
+    @pytest.mark.parametrize("n,m", [(4, 2), (5, 3), (6, 2)])
+    def test_still_mds(self, n, m):
+        assert CauchyGoodRSCode(n, m, w=4).verify_fault_tolerance()
+
+    @pytest.mark.parametrize("n,m", [(4, 2), (6, 2), (5, 3)])
+    def test_density_never_worse(self, n, m):
+        plain = CauchyRSCode(n, m, w=4)
+        good = CauchyGoodRSCode(n, m, w=4)
+        assert good.density() <= plain.density()
+
+    def test_density_strictly_better_somewhere(self):
+        improved = False
+        for n in (4, 5, 6, 7):
+            if (
+                CauchyGoodRSCode(n, 2, w=4).density()
+                < CauchyRSCode(n, 2, w=4).density()
+            ):
+                improved = True
+        assert improved
+
+    def test_first_parity_is_plain_xor(self):
+        """Row normalisation makes column 0's matrices the identity block —
+        but more importantly every coefficient in column 0 is 1."""
+        code = CauchyGoodRSCode(5, 2, w=4)
+        for j in range(2):
+            assert code.coefficient(j, 0) == 1
+
+    def test_registry(self):
+        code = make_code("cauchy_good", 8)
+        assert code.name == "cauchy_good"
+        assert code.layout.n_disks == 8
+
+    def test_recovery_pipeline(self):
+        code = CauchyGoodRSCode(5, 2, w=4)
+        for disk in (0, 3, 5):
+            scheme = u_scheme(code, disk, depth=1)
+            scheme.validate(code)
+            assert verify_scheme_on_random_data(code, scheme, seed=2)
+
+    def test_sparser_matrix_reads_no_more(self):
+        """Smaller equation supports can only shrink min-read schemes."""
+        plain = CauchyRSCode(5, 2, w=4)
+        good = CauchyGoodRSCode(5, 2, w=4)
+        from repro.recovery import khan_scheme
+
+        for disk in range(3):
+            assert (
+                khan_scheme(good, disk, depth=1).total_reads
+                <= khan_scheme(plain, disk, depth=1).total_reads + 2
+            )

@@ -1,0 +1,280 @@
+"""Construction-level tests for every erasure-code family.
+
+Each family is checked for (a) structural invariants of its calculation
+equations, (b) the claimed fault tolerance via exhaustive erasure rank
+checks, and (c) generator-matrix consistency.
+"""
+
+import pytest
+
+from repro.codes import (
+    BlaumRothCode,
+    CauchyRSCode,
+    EvenOddCode,
+    GeneralizedEvenOddCode,
+    Liber8tionCode,
+    LiberationCode,
+    Raid4Code,
+    RdpCode,
+    StarCode,
+)
+from repro.gf2.linalg import rank
+
+ALL_SMALL_CODES = [
+    pytest.param(lambda: Raid4Code(4, 3), id="raid4"),
+    pytest.param(lambda: RdpCode(5), id="rdp5"),
+    pytest.param(lambda: RdpCode(7), id="rdp7"),
+    pytest.param(lambda: RdpCode(7, n_data=4), id="rdp7-short"),
+    pytest.param(lambda: EvenOddCode(5), id="evenodd5"),
+    pytest.param(lambda: EvenOddCode(7, n_data=5), id="evenodd7-short"),
+    pytest.param(lambda: StarCode(5), id="star5"),
+    pytest.param(lambda: StarCode(7, n_data=5), id="star7-short"),
+    pytest.param(lambda: GeneralizedEvenOddCode(5), id="gen-evenodd5"),
+    pytest.param(lambda: BlaumRothCode(5), id="blaum-roth5"),
+    pytest.param(lambda: BlaumRothCode(7, n_data=5), id="blaum-roth7-short"),
+    pytest.param(lambda: LiberationCode(5), id="liberation5"),
+    pytest.param(lambda: LiberationCode(7, n_data=5), id="liberation7-short"),
+    pytest.param(lambda: Liber8tionCode(6), id="liber8tion6"),
+    pytest.param(lambda: CauchyRSCode(5, 2, w=4), id="cauchy-m2"),
+    pytest.param(lambda: CauchyRSCode(4, 3, w=4), id="cauchy-m3"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_SMALL_CODES)
+class TestEveryFamily:
+    def test_equation_count_and_parity_membership(self, factory):
+        code = factory()
+        lay = code.layout
+        eqs = code.parity_equations()
+        assert len(eqs) == lay.n_parity_elements
+        # equation p*k+r must contain parity element (n_data + p, r)
+        for idx, eq in enumerate(eqs):
+            p, r = divmod(idx, lay.k_rows)
+            assert (eq >> lay.eid(lay.n_data + p, r)) & 1
+
+    def test_fault_tolerance_exhaustive(self, factory):
+        code = factory()
+        assert code.verify_fault_tolerance()
+
+    def test_beyond_fault_tolerance_unrecoverable_somewhere(self, factory):
+        """Failing more disks than the tolerance must break MDS codes."""
+        import itertools
+
+        code = factory()
+        t = code.fault_tolerance + 1
+        if t > code.layout.n_disks:
+            pytest.skip("not enough disks")
+        combos = itertools.combinations(range(code.layout.n_disks), t)
+        assert any(
+            not code.is_recoverable(code.failed_mask_for_disks(c)) for c in combos
+        )
+
+    def test_generator_shape(self, factory):
+        code = factory()
+        g = code.generator_bitmatrix()
+        lay = code.layout
+        assert g.shape == (lay.n_parity_elements, lay.n_data_elements)
+
+    def test_encode_vector_is_codeword(self, factory):
+        import random
+
+        code = factory()
+        rng = random.Random(17)
+        for _ in range(5):
+            data = rng.getrandbits(code.layout.n_data_elements)
+            assert code.is_codeword(code.encode_vector(data))
+
+    def test_equations_vanish_on_codewords(self, factory):
+        import random
+
+        code = factory()
+        rng = random.Random(23)
+        vec = code.encode_vector(rng.getrandbits(code.layout.n_data_elements))
+        for eq in code.parity_equations():
+            assert (eq & vec).bit_count() % 2 == 0
+
+    def test_describe_mentions_geometry(self, factory):
+        code = factory()
+        text = code.describe()
+        assert str(code.layout.n_data) in text
+        assert code.name in text
+
+
+class TestRdpSpecifics:
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            RdpCode(6)
+
+    def test_ndata_bounds(self):
+        with pytest.raises(ValueError):
+            RdpCode(5, n_data=5)  # max is p-1 = 4
+
+    def test_geometry(self):
+        code = RdpCode(7)
+        assert code.layout.n_data == 6
+        assert code.layout.k_rows == 6
+        assert code.layout.m_parity == 2
+
+    def test_missing_diagonal_elements_only_in_row_eq(self):
+        """Cells on diagonal p-1 appear in no diagonal equation."""
+        code = RdpCode(5)
+        lay = code.layout
+        eqs = code.parity_equations()
+        diag_eqs = eqs[lay.k_rows :]
+        for r in range(lay.k_rows):
+            for c in range(lay.n_data):
+                if (r + c) % code.p == code.p - 1:
+                    bit = 1 << lay.eid(c, r)
+                    assert all(not (eq & bit) for eq in diag_eqs)
+
+    def test_diagonal_covers_row_parity_column(self):
+        """RDP diagonals include the P column (unlike EVENODD)."""
+        code = RdpCode(5)
+        lay = code.layout
+        p_mask = lay.disk_mask(lay.n_data)
+        diag_eqs = code.parity_equations()[lay.k_rows :]
+        assert any(eq & p_mask for eq in diag_eqs)
+
+
+class TestEvenOddSpecifics:
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            EvenOddCode(9)
+
+    def test_diagonals_exclude_row_parity(self):
+        code = EvenOddCode(5)
+        lay = code.layout
+        p_mask = lay.disk_mask(lay.n_data)
+        diag_eqs = code.parity_equations()[lay.k_rows :]
+        assert all(not (eq & p_mask) for eq in diag_eqs)
+
+    def test_adjuster_diagonal_in_every_q_equation(self):
+        """Every Q equation carries the S (diagonal p-1) cells."""
+        code = EvenOddCode(5)
+        lay = code.layout
+        s_mask = code._diag_cells_mask(code.p - 1)
+        assert s_mask != 0
+        for eq in code.parity_equations()[lay.k_rows :]:
+            assert eq & s_mask == s_mask
+
+
+class TestStarSpecifics:
+    def test_three_parity_disks(self):
+        code = StarCode(5)
+        assert code.layout.m_parity == 3
+        assert code.fault_tolerance == 3
+
+    def test_antidiagonal_symmetry(self):
+        """Q' equations use slope -1 lines."""
+        code = StarCode(5)
+        lay = code.layout
+        q2_eqs = code.parity_equations()[2 * lay.k_rows :]
+        assert len(q2_eqs) == lay.k_rows
+
+
+class TestBlaumRothSpecifics:
+    def test_companion_matrix_satisfies_ring_relation(self):
+        """x^p = 1 in GF(2)[x]/M_p(x) => C^p == I."""
+        from repro.codes.blaum_roth import companion_matrix
+        from repro.gf2 import BitMatrix
+
+        for p in (3, 5, 7):
+            c = companion_matrix(p)
+            acc = BitMatrix.identity(p - 1)
+            for _ in range(p):
+                acc = c @ acc
+            assert acc == BitMatrix.identity(p - 1)
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            BlaumRothCode(8)
+
+
+class TestBlaumRothVsEvenOdd:
+    def test_same_ring_algebra_at_full_length(self):
+        """Cross-validation: an unshortened EVENODD(p) and the Blaum-Roth
+        ring construction with k = p columns produce identical calculation
+        equations — EVENODD *is* the x^i-multiplier code over
+        GF(2)[x]/M_p(x).  (Blaum-Roth's own parameter range stops at
+        k = p-1, which is what distinguishes the families in practice.)"""
+        from repro.codes.blaum_roth import companion_matrix
+        from repro.codes.evenodd import EvenOddCode
+        from repro.gf2 import BitMatrix
+
+        p = 5
+        evenodd = EvenOddCode(p)  # p data disks
+        lay = evenodd.layout
+        # rebuild the Q equations from ring multiplication C^i
+        c = companion_matrix(p)
+        mats = [BitMatrix.identity(p - 1)]
+        for _ in range(p - 1):
+            mats.append(c @ mats[-1])
+        q_disk = lay.n_data + 1
+        for r in range(p - 1):
+            eq = 1 << lay.eid(q_disk, r)
+            for d in range(p):
+                row = mats[d].rows[r]
+                for j in range(p - 1):
+                    if (row >> j) & 1:
+                        eq |= 1 << lay.eid(d, j)
+            assert eq == evenodd.parity_equations()[lay.k_rows + r]
+
+    def test_families_differ_at_equal_disk_count(self):
+        """With the registry's parameter conventions the two families have
+        different stripe geometry at the same array width."""
+        from repro.codes import make_code
+
+        br = make_code("blaum_roth", 9)
+        eo = make_code("evenodd", 9)
+        assert br.layout.k_rows != eo.layout.k_rows
+
+
+class TestLiberationSpecifics:
+    def test_density_is_minimal(self):
+        """Liberation generator density = k*w + k - 1 ones per Q + k*w P ones."""
+        for w in (5, 7, 11):
+            code = LiberationCode(w)
+            # Q columns: identity (w) + (k-1) shift-plus-bit matrices (w+1)
+            q_density = w + (w - 1) * (w + 1)
+            p_density = w * w  # k identity blocks
+            assert code.density() == p_density + q_density
+
+    def test_requires_prime_w(self):
+        with pytest.raises(ValueError):
+            LiberationCode(6)
+
+    def test_extra_bit_per_column(self):
+        code = LiberationCode(7)
+        assert code.q_column_matrix(0).density() == 7
+        for i in range(1, 7):
+            assert code.q_column_matrix(i).density() == 8
+
+
+class TestLiber8tionSpecifics:
+    def test_q_matrices_match_field_powers(self):
+        code = Liber8tionCode(4)
+        f = code.field
+        for d in range(4):
+            m = code.q_column_matrix(d)
+            for v in (1, 3, 77, 255):
+                assert m.mul_vec(v) == f.mul(f.pow(2, d), v)
+
+    def test_w8_geometry(self):
+        code = Liber8tionCode(8)
+        assert code.layout.k_rows == 8
+
+
+class TestCauchySpecifics:
+    def test_too_many_disks_rejected(self):
+        with pytest.raises(ValueError):
+            CauchyRSCode(15, 2, w=4)
+
+    def test_coefficients_distinct_nonzero(self):
+        code = CauchyRSCode(5, 3, w=4)
+        for j in range(3):
+            for i in range(5):
+                assert code.coefficient(j, i) != 0
+
+    def test_any_m_failures_recoverable(self):
+        code = CauchyRSCode(4, 3, w=4)
+        assert code.verify_fault_tolerance()

@@ -1,0 +1,121 @@
+"""Unit tests for repro.codes.layout.CodeLayout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.layout import CodeLayout
+
+
+@pytest.fixture
+def lay():
+    return CodeLayout(n_data=4, m_parity=2, k_rows=3)
+
+
+class TestConstruction:
+    def test_derived_sizes(self, lay):
+        assert lay.n_disks == 6
+        assert lay.n_elements == 18
+        assert lay.n_data_elements == 12
+        assert lay.n_parity_elements == 6
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_data=0, m_parity=1, k_rows=1),
+        dict(n_data=1, m_parity=-1, k_rows=1),
+        dict(n_data=1, m_parity=1, k_rows=0),
+    ])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            CodeLayout(**bad)
+
+    def test_disk_ranges(self, lay):
+        assert list(lay.data_disks) == [0, 1, 2, 3]
+        assert list(lay.parity_disks) == [4, 5]
+
+
+class TestEidMapping:
+    def test_eid_roundtrip(self, lay):
+        for disk in range(lay.n_disks):
+            for row in range(lay.k_rows):
+                eid = lay.eid(disk, row)
+                assert lay.disk_of(eid) == disk
+                assert lay.row_of(eid) == row
+
+    def test_eid_is_disk_major(self, lay):
+        assert lay.eid(0, 0) == 0
+        assert lay.eid(0, 2) == 2
+        assert lay.eid(1, 0) == 3
+
+    def test_eid_out_of_range(self, lay):
+        with pytest.raises(IndexError):
+            lay.eid(6, 0)
+        with pytest.raises(IndexError):
+            lay.eid(0, 3)
+        with pytest.raises(IndexError):
+            lay.disk_of(18)
+
+
+class TestMasks:
+    def test_disk_mask_contiguous(self, lay):
+        assert lay.disk_mask(0) == 0b111
+        assert lay.disk_mask(1) == 0b111000
+
+    def test_data_parity_masks_partition(self, lay):
+        assert lay.data_mask & lay.parity_mask == 0
+        assert lay.data_mask | lay.parity_mask == (1 << lay.n_elements) - 1
+
+    def test_element_mask(self, lay):
+        m = lay.element_mask([(0, 1), (2, 0)])
+        assert m == (1 << 1) | (1 << 6)
+
+    def test_disk_mask_out_of_range(self, lay):
+        with pytest.raises(IndexError):
+            lay.disk_mask(6)
+
+
+class TestLoads:
+    def test_loads_counts_per_disk(self, lay):
+        mask = lay.element_mask([(0, 0), (0, 1), (3, 2), (5, 0)])
+        assert lay.loads(mask) == [2, 0, 0, 1, 0, 1]
+
+    def test_max_load(self, lay):
+        mask = lay.element_mask([(0, 0), (0, 1), (0, 2), (1, 0)])
+        assert lay.max_load(mask) == 3
+
+    def test_max_load_empty(self, lay):
+        assert lay.max_load(0) == 0
+
+    def test_load_of_disk(self, lay):
+        mask = lay.disk_mask(2)
+        assert lay.load_of_disk(mask, 2) == 3
+        assert lay.load_of_disk(mask, 1) == 0
+
+    def test_max_weighted_load(self, lay):
+        mask = lay.element_mask([(0, 0), (1, 0), (1, 1)])
+        weights = [10.0, 1.0, 1, 1, 1, 1]
+        assert lay.max_weighted_load(mask, weights) == 10.0
+
+    def test_iter_elements_matches_mask(self, lay):
+        pairs = [(0, 2), (4, 1), (5, 0)]
+        mask = lay.element_mask(pairs)
+        assert sorted(lay.iter_elements(mask)) == sorted(pairs)
+
+    def test_mask_size(self, lay):
+        assert lay.mask_size(lay.disk_mask(0)) == 3
+
+    @given(st.integers(0, 2**18 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_loads_sum_equals_popcount(self, mask):
+        lay = CodeLayout(4, 2, 3)
+        assert sum(lay.loads(mask)) == bin(mask).count("1")
+        assert lay.max_load(mask) == max(lay.loads(mask))
+
+
+class TestRender:
+    def test_render_marks_cells(self, lay):
+        failed = lay.disk_mask(0)
+        read = lay.element_mask([(1, 0)])
+        pic = lay.render(failed=failed, read=read)
+        lines = pic.splitlines()
+        assert len(lines) == 1 + lay.k_rows
+        assert "X" in pic and "R" in pic

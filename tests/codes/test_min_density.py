@@ -1,0 +1,72 @@
+"""Tests for the generic minimal-density RAID-6 search (repro.codes.min_density)."""
+
+import pytest
+
+from repro.codes.min_density import (
+    MinDensityRaid6Code,
+    build_min_density_columns,
+    shift_matrix,
+)
+from repro.gf2 import BitMatrix
+from repro.gf2.linalg import is_invertible
+
+
+class TestShiftMatrix:
+    def test_shift_zero_is_identity(self):
+        assert shift_matrix(5, 0) == BitMatrix.identity(5)
+
+    def test_shift_permutes_vectors(self):
+        s = shift_matrix(4, 1)
+        # shifting by 1: bit j -> bit (j+1) mod 4
+        assert s.mul_vec(0b0001) == 0b0010
+        assert s.mul_vec(0b1000) == 0b0001
+
+    def test_composition(self):
+        a, b = shift_matrix(5, 2), shift_matrix(5, 3)
+        assert a @ b == BitMatrix.identity(5)  # 2+3 = 5 = full cycle
+
+
+class TestColumnSearch:
+    @pytest.mark.parametrize("w", [3, 5, 7])
+    def test_prime_w_single_extra_bit(self, w):
+        cols = build_min_density_columns(w, w)
+        assert cols[0] == BitMatrix.identity(w)
+        for i in range(1, w):
+            assert cols[i].density() == w + 1  # shift + one extra bit
+
+    @pytest.mark.parametrize("w", [5, 7])
+    def test_columns_satisfy_mds_conditions(self, w):
+        cols = build_min_density_columns(w, w)
+        for i, x in enumerate(cols):
+            assert is_invertible(x)
+            for j in range(i):
+                assert is_invertible(x + cols[j])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_min_density_columns(5, 6)
+        with pytest.raises(ValueError):
+            build_min_density_columns(5, 0)
+
+    def test_cache_hits(self):
+        a = build_min_density_columns(5, 4)
+        b = build_min_density_columns(5, 4)
+        assert a is b
+
+
+class TestMinDensityCode:
+    def test_small_instances_are_raid6(self):
+        for w, k in ((5, 4), (7, 5)):
+            code = MinDensityRaid6Code(w, k)
+            assert code.verify_fault_tolerance()
+
+    def test_q_column_accessor(self):
+        code = MinDensityRaid6Code(5, 3)
+        assert code.q_column_matrix(0) == BitMatrix.identity(5)
+        assert code.q_column_matrix(2).density() == 6
+
+    def test_density_formula(self):
+        w, k = 5, 5
+        code = MinDensityRaid6Code(w, k)
+        # P block: k identities (k*w); Q block: identity + (k-1)*(w+1)
+        assert code.density() == k * w + w + (k - 1) * (w + 1)

@@ -1,0 +1,71 @@
+"""Tests for the code registry and the shortening rules."""
+
+import pytest
+
+from repro.codes import PAPER_FIGURE_FAMILIES, list_families, make_code
+from repro.codes.primes import is_prime, next_prime_at_least
+
+
+class TestPrimes:
+    def test_is_prime_basics(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23}
+        for n in range(25):
+            assert is_prime(n) == (n in primes)
+
+    def test_next_prime(self):
+        assert next_prime_at_least(1) == 2
+        assert next_prime_at_least(8) == 11
+        assert next_prime_at_least(13) == 13
+        assert next_prime_at_least(14) == 17
+
+
+class TestRegistry:
+    def test_families_listed(self):
+        fams = list_families()
+        for f in PAPER_FIGURE_FAMILIES:
+            assert f in fams
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown code family"):
+            make_code("nope", 8)
+
+    def test_too_few_disks(self):
+        with pytest.raises(ValueError):
+            make_code("rdp", 2)
+        with pytest.raises(ValueError):
+            make_code("star", 3)
+
+    @pytest.mark.parametrize("family", PAPER_FIGURE_FAMILIES)
+    @pytest.mark.parametrize("n_disks", range(7, 17))
+    def test_total_disk_count_honoured(self, family, n_disks):
+        code = make_code(family, n_disks)
+        assert code.layout.n_disks == n_disks
+
+    def test_raid6_families_have_two_parity(self):
+        for fam in ("rdp", "evenodd", "blaum_roth", "liberation", "cauchy_rs"):
+            assert make_code(fam, 9).layout.m_parity == 2
+
+    def test_triple_families_have_three_parity(self):
+        for fam in ("star", "gen_evenodd", "cauchy_rs3"):
+            assert make_code(fam, 9).layout.m_parity == 3
+
+    def test_rdp_unshortened_at_prime_plus_one(self):
+        # 8 disks: n_data=6, p=7 => exactly p-1 data disks (no shortening)
+        code = make_code("rdp", 8)
+        assert code.p == 7
+        assert code.layout.n_data == code.p - 1
+
+    def test_rdp_shortened_between_primes(self):
+        code = make_code("rdp", 11)  # n_data=9, p=11, shortened from 10
+        assert code.p == 11
+        assert code.layout.n_data == 9
+
+    def test_liber8tion_cap(self):
+        make_code("liber8tion", 10)
+        with pytest.raises(ValueError):
+            make_code("liber8tion", 11)
+
+    @pytest.mark.parametrize("family", sorted(set(PAPER_FIGURE_FAMILIES)))
+    def test_figure_families_fault_tolerant(self, family):
+        code = make_code(family, 8)
+        assert code.verify_fault_tolerance()

@@ -1,0 +1,115 @@
+"""Structural properties every construction must satisfy."""
+
+import pytest
+from hypothesis import given, settings
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from strategies import code_and_any_disk, small_codes  # noqa: E402
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@given(code=small_codes)
+@settings(**SETTINGS)
+def test_every_data_element_covered(code):
+    """Each data element appears in at least fault_tolerance equations —
+    otherwise some failure of that element plus enough parity would be
+    unrecoverable despite the rank test."""
+    lay = code.layout
+    eqs = code.parity_equations()
+    for d in range(lay.n_data):
+        for r in range(lay.k_rows):
+            bit = 1 << lay.eid(d, r)
+            count = sum(1 for eq in eqs if eq & bit)
+            assert count >= 1
+
+
+@given(code=small_codes)
+@settings(**SETTINGS)
+def test_each_parity_element_in_exactly_one_original_equation(code):
+    """Original equations are indexed by parity element; each parity element
+    belongs to its own equation, and RAID-6-style constructions never mix
+    two parity elements of the same disk in one equation."""
+    lay = code.layout
+    eqs = code.parity_equations()
+    for idx, eq in enumerate(eqs):
+        p, r = divmod(idx, lay.k_rows)
+        own = 1 << lay.eid(lay.n_data + p, r)
+        assert eq & own
+        # the equation's own parity disk contributes exactly this element
+        disk_mask = lay.disk_mask(lay.n_data + p)
+        assert eq & disk_mask == own
+
+
+@given(code=small_codes)
+@settings(**SETTINGS)
+def test_generator_matches_equations(code):
+    """The derived generator must reproduce the equations: encoding with G
+    satisfies every original equation (already covered), and conversely the
+    parity part of each equation row-reduces against G's rows."""
+    import random
+
+    rng = random.Random(5)
+    data = rng.getrandbits(code.layout.n_data_elements)
+    vec = code.encode_vector(data)
+    for eq in code.parity_equations():
+        assert (eq & vec).bit_count() % 2 == 0
+
+
+@given(pair=code_and_any_disk())
+@settings(**SETTINGS)
+def test_single_disk_always_recoverable(pair):
+    code, disk = pair
+    assert code.is_recoverable(code.layout.disk_mask(disk))
+
+
+@given(code=small_codes)
+@settings(**SETTINGS)
+def test_density_at_least_trivial_lower_bound(code):
+    """Every data element must appear somewhere, every parity element once:
+    density >= n*k (data appearances) + m*k (parity members)."""
+    lay = code.layout
+    h_density = sum(eq.bit_count() for eq in code.parity_equations())
+    assert h_density >= lay.n_data_elements + lay.n_parity_elements
+
+
+class TestShorteningConsistency:
+    """Shortened codes = full codes with dropped columns zeroed."""
+
+    @pytest.mark.parametrize(
+        "full_factory,short_factory,dropped",
+        [
+            (lambda: __import__("repro.codes", fromlist=["RdpCode"]).RdpCode(7),
+             lambda: __import__("repro.codes", fromlist=["RdpCode"]).RdpCode(7, n_data=4),
+             range(4, 6)),
+            (lambda: __import__("repro.codes", fromlist=["EvenOddCode"]).EvenOddCode(5),
+             lambda: __import__("repro.codes", fromlist=["EvenOddCode"]).EvenOddCode(5, n_data=3),
+             range(3, 5)),
+        ],
+        ids=["rdp", "evenodd"],
+    )
+    def test_shortened_equations_are_projections(
+        self, full_factory, short_factory, dropped
+    ):
+        """Zeroing the dropped data disks in the full code's equations and
+        relabelling must give exactly the shortened code's equations."""
+        full = full_factory()
+        short = short_factory()
+        lay_f, lay_s = full.layout, short.layout
+        k = lay_f.k_rows
+
+        def project(eq):
+            out = 0
+            for d, r in lay_f.iter_elements(eq):
+                if d < lay_s.n_data:  # surviving data disk, same index
+                    out |= 1 << lay_s.eid(d, r)
+                elif d >= lay_f.n_data:  # parity disk, shifted index
+                    out |= 1 << lay_s.eid(d - lay_f.n_data + lay_s.n_data, r)
+                # dropped data columns vanish
+            return out
+
+        projected = [project(eq) for eq in full.parity_equations()]
+        assert projected == short.parity_equations()

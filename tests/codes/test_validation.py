@@ -1,0 +1,78 @@
+"""Tests for the code-validation diagnostics."""
+
+import pytest
+
+from repro.codes import EvenOddCode, Raid4Code, RdpCode
+from repro.codes.base import ErasureCode
+from repro.codes.layout import CodeLayout
+from repro.codes.validation import validate_code
+
+
+class BrokenMembership(ErasureCode):
+    """Equation 0 misses its parity element."""
+
+    name = "broken"
+
+    def __init__(self):
+        super().__init__(CodeLayout(2, 1, 2), fault_tolerance=1)
+
+    def _build_parity_equations(self):
+        lay = self.layout
+        good = (1 << lay.eid(0, 1)) | (1 << lay.eid(1, 1)) | (1 << lay.eid(2, 1))
+        bad = (1 << lay.eid(0, 0)) | (1 << lay.eid(1, 0))  # no parity member
+        return [bad, good]
+
+
+class OverclaimedTolerance(ErasureCode):
+    """RAID-4 equations but claims tolerance 2."""
+
+    name = "overclaimed"
+
+    def __init__(self):
+        super().__init__(CodeLayout(3, 1, 2), fault_tolerance=2)
+
+    def _build_parity_equations(self):
+        lay = self.layout
+        eqs = []
+        for r in range(2):
+            eq = 1 << lay.eid(3, r)
+            for d in range(3):
+                eq |= 1 << lay.eid(d, r)
+            eqs.append(eq)
+        return eqs
+
+
+class TestValidateGoodCodes:
+    @pytest.mark.parametrize(
+        "factory", [lambda: RdpCode(5), lambda: EvenOddCode(5),
+                    lambda: Raid4Code(4, 2)],
+        ids=["rdp", "evenodd", "raid4"],
+    )
+    def test_builtin_codes_pass(self, factory):
+        report = validate_code(factory())
+        assert report.ok, report.render()
+        assert report.verified_fault_tolerance >= 1
+        assert report.density > 0
+
+    def test_render_mentions_checks(self):
+        report = validate_code(RdpCode(5))
+        text = report.render()
+        assert "[ok]" in text
+        assert "density=" in text
+
+
+class TestValidateBrokenCodes:
+    def test_missing_parity_membership_detected(self):
+        report = validate_code(BrokenMembership())
+        assert not report.ok
+        assert any("parity element" in p for p in report.problems)
+
+    def test_overclaimed_tolerance_detected(self):
+        report = validate_code(OverclaimedTolerance())
+        assert not report.ok
+        assert any("fault tolerance" in p for p in report.problems)
+        assert "[FAIL]" in report.render()
+
+    def test_mds_smell_test_on_raid4(self):
+        report = validate_code(Raid4Code(4, 2))
+        assert any("2-disk failures exceed" in c for c in report.checks)

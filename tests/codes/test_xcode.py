@@ -1,0 +1,105 @@
+"""Tests for the vertical X-Code and the generalized element model."""
+
+import numpy as np
+import pytest
+
+from repro.codec import ArrayImageCodec, StripeCodec, verify_scheme_on_random_data
+from repro.codes import XCode, make_code
+from repro.recovery import khan_scheme, naive_scheme, u_scheme
+
+
+@pytest.fixture(scope="module")
+def x7():
+    return XCode(7)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_two_fault_tolerant(self, p):
+        assert XCode(p).verify_fault_tolerance()
+
+    def test_requires_prime(self):
+        with pytest.raises(ValueError):
+            XCode(6)
+        with pytest.raises(ValueError):
+            XCode(2)
+
+    def test_vertical_geometry(self, x7):
+        lay = x7.layout
+        assert lay.n_disks == 7
+        assert lay.k_rows == 7
+        assert lay.m_parity == 0
+
+    def test_element_partition(self, x7):
+        data = set(x7.data_eids())
+        parity = set(x7.parity_eids())
+        assert not data & parity
+        assert len(data) == 7 * 5
+        assert len(parity) == 7 * 2
+        assert len(data | parity) == x7.layout.n_elements
+
+    def test_parity_rows_are_last_two(self, x7):
+        lay = x7.layout
+        for eid in x7.parity_eids():
+            assert lay.row_of(eid) in (5, 6)
+
+    def test_parity_depends_only_on_other_disks(self, x7):
+        """X-Code's defining property: a parity element's sources never
+        share its disk (optimal update locality)."""
+        lay = x7.layout
+        for eq, peid in zip(x7.parity_equations(), x7.parity_eids()):
+            pdisk = lay.disk_of(peid)
+            for d, r in lay.iter_elements(eq & ~(1 << peid)):
+                assert d != pdisk
+
+    def test_density_is_optimal(self, x7):
+        """Each parity element covers exactly p-2 data cells."""
+        assert x7.density() == 2 * 7 * (7 - 2)
+
+    def test_registry(self):
+        code = make_code("xcode", 7)
+        assert code.name == "xcode"
+        with pytest.raises(ValueError):
+            make_code("xcode", 8)
+
+
+class TestRecovery:
+    def test_all_disks_recoverable_byte_exact(self, x7):
+        for disk in range(7):
+            for fn in (naive_scheme, khan_scheme, u_scheme):
+                scheme = fn(x7, disk) if fn is naive_scheme else fn(x7, disk, depth=1)
+                scheme.validate(x7)
+                assert verify_scheme_on_random_data(x7, scheme, seed=disk)
+
+    def test_u_no_worse_than_khan(self, x7):
+        for disk in range(7):
+            assert (
+                u_scheme(x7, disk, depth=1).max_load
+                <= khan_scheme(x7, disk, depth=1).max_load
+            )
+
+    def test_double_failure(self, x7):
+        from repro.recovery import recover_failure
+
+        mask = x7.layout.disk_mask(0) | x7.layout.disk_mask(4)
+        scheme = recover_failure(x7, mask, algorithm="u")
+        scheme.validate(x7)
+        assert verify_scheme_on_random_data(x7, scheme, seed=3)
+
+
+class TestCodecIntegration:
+    def test_stripe_codec_handles_vertical_layout(self, x7):
+        codec = StripeCodec(x7, element_size=32)
+        assert codec.n_data_elements == 35
+        stripe = codec.encode(codec.random_data(np.random.default_rng(2)))
+        assert codec.check_stripe(stripe)
+
+    def test_corruption_detected(self, x7):
+        codec = StripeCodec(x7, element_size=32)
+        stripe = codec.encode(codec.random_data(np.random.default_rng(3)))
+        stripe[x7.parity_eids()[0], 0] ^= 1
+        assert not codec.check_stripe(stripe)
+
+    def test_image_codec_refuses_vertical(self, x7):
+        with pytest.raises(NotImplementedError, match="horizontal"):
+            ArrayImageCodec(x7, element_size=8)

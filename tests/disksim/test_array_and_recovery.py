@@ -1,0 +1,110 @@
+"""Tests for the array model and stack-recovery simulation."""
+
+import pytest
+
+from repro.codes import RdpCode, make_code
+from repro.disksim import (
+    SAVVIO_10K3,
+    DiskArraySimulator,
+    DiskParams,
+    simulate_stack_recovery,
+)
+from repro.disksim.recovery_sim import compare_schemes_speed
+from repro.recovery import RecoveryPlanner, khan_scheme, naive_scheme, u_scheme
+
+
+@pytest.fixture(scope="module")
+def rdp7():
+    return RdpCode(7)
+
+
+class TestArraySimulator:
+    def test_disk_count_validation(self):
+        with pytest.raises(ValueError):
+            DiskArraySimulator(0)
+        with pytest.raises(ValueError):
+            DiskArraySimulator(3, [SAVVIO_10K3] * 2)
+
+    def test_rows_by_disk(self, rdp7):
+        lay = rdp7.layout
+        sim = DiskArraySimulator(lay.n_disks)
+        mask = lay.element_mask([(1, 0), (1, 3), (4, 2)])
+        by_disk = sim.rows_by_disk(lay, mask)
+        assert by_disk == {1: [0, 3], 4: [2]}
+
+    def test_layout_mismatch(self, rdp7):
+        sim = DiskArraySimulator(5)
+        with pytest.raises(ValueError, match="disks"):
+            sim.stripe_recovery_time(rdp7.layout, 1)
+
+    def test_stripe_time_is_max_disk_time(self, rdp7):
+        lay = rdp7.layout
+        sim = DiskArraySimulator(lay.n_disks)
+        scheme = u_scheme(rdp7, 0)
+        times = sim.per_disk_read_times(lay, scheme.read_mask)
+        assert sim.stripe_recovery_time(lay, scheme.read_mask) == max(times)
+
+    def test_serial_time_is_sum(self, rdp7):
+        lay = rdp7.layout
+        sim = DiskArraySimulator(lay.n_disks)
+        scheme = u_scheme(rdp7, 0)
+        assert sim.stripe_recovery_time_serial(
+            lay, scheme.read_mask
+        ) == pytest.approx(sum(sim.per_disk_read_times(lay, scheme.read_mask)))
+
+    def test_heterogeneous_disks(self, rdp7):
+        lay = rdp7.layout
+        slow = SAVVIO_10K3.scaled(0.5)
+        params = [SAVVIO_10K3] * (lay.n_disks - 1) + [slow]
+        sim = DiskArraySimulator(lay.n_disks, params)
+        mask = lay.element_mask([(lay.n_disks - 1, 0)])
+        fast_mask = lay.element_mask([(0, 0)])
+        assert sim.stripe_recovery_time(lay, mask) > sim.stripe_recovery_time(
+            lay, fast_mask
+        )
+
+
+class TestStackRecovery:
+    def test_balanced_scheme_recovers_faster(self, rdp7):
+        schemes_u = RecoveryPlanner(rdp7, "u").all_data_disk_schemes()
+        schemes_naive = RecoveryPlanner(rdp7, "naive").all_data_disk_schemes()
+        r_u = simulate_stack_recovery(rdp7, schemes_u)
+        r_naive = simulate_stack_recovery(rdp7, schemes_naive)
+        assert r_u.speed_mb_s > r_naive.speed_mb_s
+        assert r_u.data_recovered_mb == r_naive.data_recovered_mb
+
+    def test_stack_scaling_preserves_speed(self, rdp7):
+        schemes = RecoveryPlanner(rdp7, "khan").all_data_disk_schemes()
+        r1 = simulate_stack_recovery(rdp7, schemes, stacks=1)
+        r20 = simulate_stack_recovery(rdp7, schemes, stacks=20)
+        assert r20.speed_mb_s == pytest.approx(r1.speed_mb_s)
+        assert r20.recovery_time_s == pytest.approx(20 * r1.recovery_time_s)
+
+    def test_input_validation(self, rdp7):
+        with pytest.raises(ValueError):
+            simulate_stack_recovery(rdp7, [])
+        schemes = [naive_scheme(rdp7, 0)]
+        with pytest.raises(ValueError):
+            simulate_stack_recovery(rdp7, schemes, stacks=0)
+
+    def test_data_recovered_accounting(self, rdp7):
+        schemes = RecoveryPlanner(rdp7, "naive").all_data_disk_schemes()
+        r = simulate_stack_recovery(rdp7, schemes, stacks=2)
+        lay = rdp7.layout
+        expect = 2 * lay.n_data * lay.k_rows * SAVVIO_10K3.element_mb
+        assert r.data_recovered_mb == pytest.approx(expect)
+
+    def test_compare_schemes_speed_ordering(self, rdp7):
+        by_alg = {
+            alg: RecoveryPlanner(rdp7, alg).all_data_disk_schemes()
+            for alg in ("naive", "khan", "u")
+        }
+        speeds = compare_schemes_speed(rdp7, by_alg)
+        assert speeds["u"] >= speeds["khan"] >= speeds["naive"]
+
+    def test_paper_speed_magnitude(self):
+        """Figure 4 sanity: simulated speeds land in tens of MB/s."""
+        code = make_code("evenodd", 10)
+        schemes = RecoveryPlanner(code, "khan").all_data_disk_schemes()
+        speed = simulate_stack_recovery(code, schemes).speed_mb_s
+        assert 20.0 < speed < 200.0

@@ -1,0 +1,111 @@
+"""Tests for degraded-read service in the event-driven simulator."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.disksim import EventDrivenArray, Request
+from repro.recovery import build_degraded_plans, u_scheme
+
+
+@pytest.fixture(scope="module")
+def rdp5():
+    return RdpCode(5)
+
+
+@pytest.fixture(scope="module")
+def plans(rdp5):
+    return build_degraded_plans(rdp5, failed_disk=0)
+
+
+class TestBuildPlans:
+    def test_one_plan_per_row(self, rdp5, plans):
+        assert set(plans) == set(range(rdp5.layout.k_rows))
+        for row, plan in plans.items():
+            assert plan.failed_eids == [rdp5.layout.eid(0, row)]
+            plan.validate(rdp5)
+
+    def test_plans_avoid_failed_disk(self, rdp5, plans):
+        for plan in plans.values():
+            assert plan.read_mask & rdp5.layout.disk_mask(0) == 0
+
+
+class TestDegradedService:
+    def test_request_to_failed_disk_served_via_plan(self, rdp5, plans):
+        arr = EventDrivenArray(rdp5.layout.n_disks)
+        reqs = [Request(arrival_s=1.0, disk=0, row=2)]
+        res = arr.run_online_recovery(
+            rdp5,
+            [u_scheme(rdp5, 0, depth=1)],
+            stripes=2,
+            user_requests=reqs,
+            failed_disk=0,
+            degraded_plans=plans,
+        )
+        assert res.user_requests_served == 1
+        # a degraded read must cost more than a single element service time
+        single = arr.disks[1].params.positioning_s + arr.disks[1].params.element_read_s
+        assert res.user_mean_latency_s >= single * 0.9
+
+    def test_degraded_read_no_faster_than_direct(self, rdp5, plans):
+        """On an idle array a degraded read's parts run in parallel, so its
+        latency is the *max* over part disks — never below a direct read of
+        the same size (and equal when every part lands on an idle disk:
+        that equality is exactly the parallel-I/O property the paper builds
+        on)."""
+        quiet_arrival = 1000.0  # after recovery completes: array idle
+        direct = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5,
+            [u_scheme(rdp5, 0, depth=1)],
+            stripes=2,
+            user_requests=[Request(arrival_s=quiet_arrival, disk=2, row=2)],
+        )
+        degraded = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5,
+            [u_scheme(rdp5, 0, depth=1)],
+            stripes=2,
+            user_requests=[Request(arrival_s=quiet_arrival, disk=0, row=2)],
+            failed_disk=0,
+            degraded_plans=plans,
+        )
+        assert degraded.user_mean_latency_s >= direct.user_mean_latency_s - 1e-9
+
+    def test_plans_required_with_failed_disk(self, rdp5, plans):
+        arr = EventDrivenArray(rdp5.layout.n_disks)
+        with pytest.raises(ValueError, match="failed_disk"):
+            arr.run_online_recovery(
+                rdp5,
+                [u_scheme(rdp5, 0, depth=1)],
+                stripes=1,
+                degraded_plans=plans,
+            )
+
+    def test_missing_row_plan_raises(self, rdp5, plans):
+        arr = EventDrivenArray(rdp5.layout.n_disks)
+        partial = {0: plans[0]}
+        with pytest.raises(KeyError, match="degraded plan"):
+            arr.run_online_recovery(
+                rdp5,
+                [u_scheme(rdp5, 0, depth=1)],
+                stripes=1,
+                user_requests=[Request(arrival_s=0.5, disk=0, row=3)],
+                failed_disk=0,
+                degraded_plans=partial,
+            )
+
+    def test_mixed_traffic(self, rdp5, plans):
+        arr = EventDrivenArray(rdp5.layout.n_disks)
+        reqs = [
+            Request(arrival_s=0.2, disk=0, row=1),
+            Request(arrival_s=0.3, disk=3, row=0),
+            Request(arrival_s=0.4, disk=0, row=3),
+        ]
+        res = arr.run_online_recovery(
+            rdp5,
+            [u_scheme(rdp5, 0, depth=1)],
+            stripes=3,
+            user_requests=reqs,
+            failed_disk=0,
+            degraded_plans=plans,
+        )
+        assert res.user_requests_served == 3
+        assert res.stripes_recovered == 3

@@ -1,0 +1,81 @@
+"""Tests for the single-disk timing model."""
+
+import pytest
+
+from repro.disksim import SAVVIO_10K3, DiskParams
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        assert SAVVIO_10K3.seq_read_bw_mb == 56.1
+        assert SAVVIO_10K3.seq_write_bw_mb == 131.0
+        assert SAVVIO_10K3.element_mb == 16.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("seq_read_bw_mb", 0), ("seq_write_bw_mb", -1),
+        ("seek_ms", -0.1), ("element_mb", 0),
+    ])
+    def test_invalid_params(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            DiskParams(**kwargs)
+
+    def test_derived_times(self):
+        p = DiskParams(seq_read_bw_mb=32.0, seek_ms=2.0,
+                       rotational_latency_ms=3.0, element_mb=16.0)
+        assert p.positioning_s == pytest.approx(0.005)
+        assert p.element_read_s == pytest.approx(0.5)
+
+    def test_scaled(self):
+        fast = SAVVIO_10K3.scaled(2.0)
+        assert fast.seq_read_bw_mb == pytest.approx(112.2)
+        assert fast.seek_ms == SAVVIO_10K3.seek_ms  # positioning unchanged
+        with pytest.raises(ValueError):
+            SAVVIO_10K3.scaled(0)
+
+
+class TestRuns:
+    def test_adjacent_rows_merge(self):
+        p = SAVVIO_10K3
+        assert p.runs([0, 1, 2]) == [(0, 3)]
+
+    def test_gaps_split_runs(self):
+        p = SAVVIO_10K3
+        assert p.runs([0, 2, 3, 7]) == [(0, 1), (2, 2), (7, 1)]
+
+    def test_unsorted_input_handled(self):
+        p = SAVVIO_10K3
+        assert p.runs([3, 1, 2]) == [(1, 3)]
+
+    def test_duplicates_collapsed(self):
+        p = SAVVIO_10K3
+        assert p.runs([1, 1, 2]) == [(1, 2)]
+
+
+class TestReadTime:
+    def test_empty_is_free(self):
+        assert SAVVIO_10K3.read_time_for_rows([]) == 0.0
+
+    def test_single_element(self):
+        p = SAVVIO_10K3
+        expect = p.positioning_s + p.element_read_s
+        assert p.read_time_for_rows([4]) == pytest.approx(expect)
+
+    def test_sequential_cheaper_than_scattered(self):
+        """The Sec. VI-B effect: same volume, more seeks, more time."""
+        p = SAVVIO_10K3
+        seq = p.read_time_for_rows([0, 1, 2, 3])
+        scattered = p.read_time_for_rows([0, 2, 4, 6])
+        assert seq < scattered
+
+    def test_scattered_time_formula(self):
+        p = SAVVIO_10K3
+        t = p.read_time_for_rows([0, 2])
+        assert t == pytest.approx(2 * (p.positioning_s + p.element_read_s))
+
+    def test_sequential_read_time(self):
+        p = SAVVIO_10K3
+        assert p.sequential_read_time(0) == 0.0
+        assert p.sequential_read_time(3) == pytest.approx(
+            p.positioning_s + 3 * p.element_read_s
+        )

@@ -1,0 +1,106 @@
+"""Tests for the event-driven on-line recovery simulator."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.disksim import EventDrivenArray, PoissonWorkload, Request, SAVVIO_10K3
+from repro.recovery import RecoveryPlanner, naive_scheme, u_scheme
+
+
+@pytest.fixture(scope="module")
+def rdp5():
+    return RdpCode(5)
+
+
+class TestWorkload:
+    def test_rate_zero_empty(self):
+        wl = PoissonWorkload(0.0, 4, 4, seed=1)
+        assert wl.generate(10.0) == []
+
+    def test_requests_within_duration(self):
+        wl = PoissonWorkload(5.0, 4, 4, seed=2)
+        reqs = wl.generate(20.0)
+        assert reqs
+        assert all(0 <= r.arrival_s < 20.0 for r in reqs)
+        assert all(0 <= r.disk < 4 and 0 <= r.row < 4 for r in reqs)
+
+    def test_rate_controls_volume(self):
+        low = len(PoissonWorkload(1.0, 4, 4, seed=3).generate(50.0))
+        high = len(PoissonWorkload(10.0, 4, 4, seed=3).generate(50.0))
+        assert high > low * 3
+
+    def test_deterministic_with_seed(self):
+        a = PoissonWorkload(2.0, 4, 4, seed=4).generate(10.0)
+        b = PoissonWorkload(2.0, 4, 4, seed=4).generate(10.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(-1, 4, 4)
+        with pytest.raises(ValueError):
+            PoissonWorkload(1, 0, 4)
+
+
+class TestOnlineRecovery:
+    def test_idle_array_matches_scheme_shape(self, rdp5):
+        """Without user traffic, balanced schemes finish sooner."""
+        arr_u = EventDrivenArray(rdp5.layout.n_disks)
+        arr_n = EventDrivenArray(rdp5.layout.n_disks)
+        u = [u_scheme(rdp5, 0)]
+        n = [naive_scheme(rdp5, 0)]
+        r_u = arr_u.run_online_recovery(rdp5, u, stripes=8)
+        r_n = arr_n.run_online_recovery(rdp5, n, stripes=8)
+        assert r_u.recovery_finish_s < r_n.recovery_finish_s
+        assert r_u.stripes_recovered == 8
+
+    def test_user_traffic_slows_recovery(self, rdp5):
+        schemes = [u_scheme(rdp5, 0)]
+        quiet = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, schemes, stripes=6
+        )
+        wl = PoissonWorkload(30.0, rdp5.layout.n_disks, rdp5.layout.k_rows, seed=5)
+        busy = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, schemes, stripes=6, user_requests=wl.generate(60.0)
+        )
+        assert busy.recovery_finish_s > quiet.recovery_finish_s
+        assert busy.user_requests_served > 0
+        assert busy.user_mean_latency_s > 0
+
+    def test_latency_percentile_ordering(self, rdp5):
+        wl = PoissonWorkload(20.0, rdp5.layout.n_disks, rdp5.layout.k_rows, seed=6)
+        res = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, [u_scheme(rdp5, 0)], stripes=4, user_requests=wl.generate(30.0)
+        )
+        assert res.user_p95_latency_s >= res.user_mean_latency_s * 0.5
+
+    def test_rotating_schemes(self, rdp5):
+        """Multiple logical schemes cycle stripe by stripe (stack rotation)."""
+        schemes = RecoveryPlanner(rdp5, "u").all_data_disk_schemes()
+        res = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, schemes, stripes=len(schemes) * 2
+        )
+        assert res.stripes_recovered == len(schemes) * 2
+
+    def test_input_validation(self, rdp5):
+        arr = EventDrivenArray(rdp5.layout.n_disks)
+        with pytest.raises(ValueError):
+            arr.run_online_recovery(rdp5, [], stripes=1)
+        with pytest.raises(ValueError):
+            arr.run_online_recovery(rdp5, [u_scheme(rdp5, 0)], stripes=0)
+
+    def test_heterogeneous_param_validation(self):
+        with pytest.raises(ValueError):
+            EventDrivenArray(3, [SAVVIO_10K3] * 2)
+
+    def test_user_priority_lowers_latency(self, rdp5):
+        """User requests are served before queued recovery reads, so their
+        latency stays near the no-recovery service time."""
+        lay = rdp5.layout
+        service = SAVVIO_10K3.positioning_s + SAVVIO_10K3.element_read_s
+        reqs = [Request(arrival_s=5.0, disk=2, row=1)]
+        res = EventDrivenArray(lay.n_disks).run_online_recovery(
+            rdp5, [u_scheme(rdp5, 0)], stripes=3, user_requests=reqs
+        )
+        assert res.user_requests_served == 1
+        # waits at most one in-flight recovery read plus its own service
+        assert res.user_mean_latency_s <= 2.5 * service

@@ -1,0 +1,59 @@
+"""Tests for placement strategies."""
+
+import pytest
+
+from repro.codes import RdpCode, make_code
+from repro.disksim.placement import (
+    FlatPlacement,
+    RotatedPlacement,
+    recovery_under_placement,
+)
+from repro.recovery import RecoveryPlanner
+
+
+@pytest.fixture(scope="module")
+def code():
+    # shortened RDP: logical failure situations genuinely differ in cost
+    return make_code("rdp", 7)
+
+
+class TestPlacements:
+    def test_mapping_roundtrip(self):
+        rot = RotatedPlacement()
+        for s in range(6):
+            for phys in range(6):
+                logical = rot.logical_failed(phys, s, 6)
+                assert (logical + s) % 6 == phys
+
+    def test_flat_is_identity(self):
+        flat = FlatPlacement()
+        assert flat.logical_failed(3, 5, 8) == 3
+
+
+class TestRecoveryUnderPlacement:
+    def test_rotation_equalizes(self, code):
+        """With rotation, every physical disk recovers in the same time."""
+        result = recovery_under_placement(code, RotatedPlacement())
+        assert result.spread == pytest.approx(1.0)
+
+    def test_flat_exposes_situation_differences(self, code):
+        """Without rotation, per-disk recovery times differ whenever the
+        logical situations do."""
+        result = recovery_under_placement(code, FlatPlacement())
+        assert result.spread > 1.0
+
+    def test_rotated_mean_equals_flat_mean(self, code):
+        """Rotation redistributes, it does not create or destroy work."""
+        flat = recovery_under_placement(code, FlatPlacement())
+        rot = recovery_under_placement(code, RotatedPlacement())
+        mean_flat = sum(flat.per_disk_time_s) / len(flat.per_disk_time_s)
+        mean_rot = sum(rot.per_disk_time_s) / len(rot.per_disk_time_s)
+        assert mean_rot == pytest.approx(mean_flat)
+
+    def test_custom_stripes_and_planner(self, code):
+        planner = RecoveryPlanner(code, "khan", depth=1)
+        result = recovery_under_placement(
+            code, RotatedPlacement(), planner=planner, stripes=3
+        )
+        assert len(result.per_disk_time_s) == code.layout.n_disks
+        assert result.worst_s > 0

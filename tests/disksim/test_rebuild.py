@@ -1,0 +1,59 @@
+"""Tests for the pipelined rebuild (write-back) model."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.disksim import SAVVIO_10K3, DiskParams
+from repro.disksim.rebuild import simulate_rebuild
+from repro.recovery import RecoveryPlanner
+
+
+@pytest.fixture(scope="module")
+def rdp7_schemes():
+    code = RdpCode(7)
+    return code, RecoveryPlanner(code, "u", depth=1).all_data_disk_schemes()
+
+
+class TestRebuild:
+    def test_reads_are_critical_on_paper_drives(self, rdp7_schemes):
+        """Savvio 10K.3 writes 2.3x faster than it reads, so the paper's
+        'recovery time excludes write-back' assumption holds: the rebuild
+        is read-limited and the write-back overhead is small."""
+        code, schemes = rdp7_schemes
+        result = simulate_rebuild(code, schemes)
+        assert result.read_is_critical
+        assert result.write_back_overhead_percent < 10.0
+
+    def test_slow_spare_flips_criticality(self, rdp7_schemes):
+        code, schemes = rdp7_schemes
+        slow_spare = DiskParams(seq_write_bw_mb=5.0)
+        result = simulate_rebuild(code, schemes, spare=slow_spare)
+        assert not result.read_is_critical
+        assert result.makespan_s > result.read_limited_s
+
+    def test_makespan_bounds(self, rdp7_schemes):
+        """Pipelined makespan is between either stage alone and their sum."""
+        code, schemes = rdp7_schemes
+        r = simulate_rebuild(code, schemes, stacks=5)
+        assert r.makespan_s >= max(r.read_limited_s, r.write_limited_s)
+        assert r.makespan_s <= r.read_limited_s + r.write_limited_s + 1.0
+
+    def test_stacks_scale_linearly(self, rdp7_schemes):
+        code, schemes = rdp7_schemes
+        one = simulate_rebuild(code, schemes, stacks=1)
+        ten = simulate_rebuild(code, schemes, stacks=10)
+        assert ten.read_limited_s == pytest.approx(10 * one.read_limited_s)
+
+    def test_empty_schemes_rejected(self, rdp7_schemes):
+        code, _ = rdp7_schemes
+        with pytest.raises(ValueError):
+            simulate_rebuild(code, [])
+
+    def test_balanced_schemes_rebuild_faster(self):
+        code = RdpCode(7)
+        naive = RecoveryPlanner(code, "naive").all_data_disk_schemes()
+        u = RecoveryPlanner(code, "u", depth=1).all_data_disk_schemes()
+        assert (
+            simulate_rebuild(code, u).makespan_s
+            < simulate_rebuild(code, naive).makespan_s
+        )

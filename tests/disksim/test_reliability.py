@@ -1,0 +1,69 @@
+"""Tests for the window-of-vulnerability Monte-Carlo."""
+
+import pytest
+
+from repro.codes import Raid4Code, RdpCode, StarCode
+from repro.disksim.reliability import (
+    recovery_hours_for_disk,
+    simulate_reliability,
+)
+
+
+class TestRecoveryHours:
+    def test_conversion(self):
+        # 300 GB at 56.1 MB/s is ~1.52 hours
+        hours = recovery_hours_for_disk(300.0, 56.1)
+        assert hours == pytest.approx(300 * 1024 / 56.1 / 3600, rel=1e-6)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            recovery_hours_for_disk(300, 0)
+
+
+class TestSimulation:
+    def test_validation(self):
+        code = RdpCode(5)
+        with pytest.raises(ValueError):
+            simulate_reliability(code, -1.0)
+        with pytest.raises(ValueError):
+            simulate_reliability(code, 1.0, trials=0)
+
+    def test_zero_recovery_time_never_loses(self):
+        """Instant repair means at most one disk is ever down."""
+        code = RdpCode(5)
+        r = simulate_reliability(code, 0.0, disk_mttf_hours=5000.0,
+                                 trials=300, seed=1)
+        assert r.data_loss_probability == 0.0
+        assert r.mean_degraded_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_faster_recovery_reduces_loss(self):
+        """The paper's whole argument: shorter windows, fewer losses.  Use
+        an exaggerated regime (unreliable disks, long rebuilds) so the
+        Monte-Carlo signal is strong with few trials."""
+        code = Raid4Code(6, 4)  # tolerates one failure
+        kwargs = dict(disk_mttf_hours=50_000.0, mission_hours=50_000.0,
+                      trials=800, seed=7)
+        slow = simulate_reliability(code, 400.0, **kwargs)
+        fast = simulate_reliability(code, 100.0, **kwargs)
+        assert 0.0 < fast.data_loss_probability < slow.data_loss_probability < 1.0
+        assert fast.mean_degraded_fraction < slow.mean_degraded_fraction
+
+    def test_higher_tolerance_survives_better(self):
+        rdp = RdpCode(5)    # 2-fault tolerant, 6 disks
+        star = StarCode(5)  # 3-fault tolerant, 8 disks
+        kwargs = dict(recovery_hours=300.0, disk_mttf_hours=3000.0,
+                      trials=600, seed=3)
+        r2 = simulate_reliability(rdp, **kwargs)
+        r3 = simulate_reliability(star, **kwargs)
+        assert r3.data_loss_probability <= r2.data_loss_probability
+
+    def test_nines(self):
+        code = RdpCode(5)
+        r = simulate_reliability(code, 0.0, trials=10, seed=1)
+        assert r.nines() == float("inf")
+
+    def test_failures_accumulate(self):
+        code = RdpCode(5)
+        r = simulate_reliability(code, 1.0, disk_mttf_hours=2000.0,
+                                 mission_hours=50000.0, trials=50, seed=9)
+        assert r.mean_failures_per_mission > 1.0

@@ -1,0 +1,50 @@
+"""Tests for the hotspot and sequential-scan workloads."""
+
+import pytest
+
+from repro.disksim import HotspotWorkload, SequentialScanWorkload
+
+
+class TestHotspot:
+    def test_skew_respected(self):
+        wl = HotspotWorkload(20.0, 8, 4, hot_disks=[2, 3], hot_fraction=0.9,
+                             seed=1)
+        reqs = wl.generate(200.0)
+        hot = sum(1 for r in reqs if r.disk in (2, 3))
+        assert hot / len(reqs) > 0.8
+
+    def test_zero_fraction_is_uniformish(self):
+        wl = HotspotWorkload(20.0, 8, 4, hot_disks=[0], hot_fraction=0.0,
+                             seed=2)
+        reqs = wl.generate(200.0)
+        on_zero = sum(1 for r in reqs if r.disk == 0)
+        assert on_zero / len(reqs) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(1.0, 4, 4, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotWorkload(1.0, 4, 4, hot_disks=[])
+        with pytest.raises(ValueError):
+            HotspotWorkload(1.0, 4, 4, hot_disks=[9])
+
+
+class TestSequentialScan:
+    def test_strictly_periodic(self):
+        wl = SequentialScanWorkload(disk=1, k_rows=4, interval_s=0.5)
+        reqs = wl.generate(5.0)
+        assert len(reqs) == 9
+        assert all(r.disk == 1 for r in reqs)
+        gaps = [b.arrival_s - a.arrival_s for a, b in zip(reqs, reqs[1:])]
+        assert all(g == pytest.approx(0.5) for g in gaps)
+
+    def test_rows_cycle(self):
+        wl = SequentialScanWorkload(disk=0, k_rows=3, interval_s=1.0)
+        reqs = wl.generate(7.0)
+        assert [r.row for r in reqs] == [0, 1, 2, 0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialScanWorkload(0, 4, 0.0)
+        with pytest.raises(ValueError):
+            SequentialScanWorkload(0, 0, 1.0)

@@ -1,0 +1,58 @@
+"""Unit tests for calculation-equation algebra."""
+
+import pytest
+
+from repro.equations.calc import (
+    combination_closure,
+    equation_space_size,
+    filter_minimal_support,
+    xor_all,
+)
+
+
+class TestCombinationClosure:
+    def test_depth1_yields_originals(self):
+        eqs = [0b011, 0b110]
+        assert list(combination_closure(eqs, 1)) == eqs
+
+    def test_depth2_adds_pairs(self):
+        eqs = [0b011, 0b110, 0b101]
+        out = list(combination_closure(eqs, 2))
+        assert len(out) == 3 + 3
+        assert 0b011 ^ 0b110 in out
+
+    def test_depth_exceeding_count_is_clamped(self):
+        eqs = [0b01, 0b10]
+        out = list(combination_closure(eqs, 10))
+        assert len(out) == 3  # singletons + one pair
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            list(combination_closure([1], 0))
+
+    def test_full_depth_count(self):
+        eqs = [1, 2, 4, 8]
+        out = list(combination_closure(eqs, 4))
+        assert len(out) == 2**4 - 1  # all non-empty subsets
+
+    def test_space_size(self):
+        assert equation_space_size(5) == 32
+
+
+class TestHelpers:
+    def test_xor_all(self):
+        assert xor_all([0b101, 0b011]) == 0b110
+        assert xor_all([]) == 0
+
+    def test_filter_minimal_support_drops_supersets(self):
+        masks = [0b111, 0b011, 0b100]
+        kept = filter_minimal_support(masks)
+        assert 0b111 not in kept
+        assert set(kept) == {0b011, 0b100}
+
+    def test_filter_minimal_support_dedupes(self):
+        assert filter_minimal_support([0b1, 0b1]) == [0b1]
+
+    def test_filter_keeps_incomparable(self):
+        masks = [0b0011, 0b1100]
+        assert set(filter_minimal_support(masks)) == set(masks)

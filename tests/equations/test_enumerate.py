@@ -1,0 +1,120 @@
+"""Tests for Get_Rec_Equ (recovery equation enumeration)."""
+
+import pytest
+
+from repro.codes import EvenOddCode, Raid4Code, RdpCode, StarCode
+from repro.equations import (
+    exhaustive_recovery_equations,
+    get_recovery_equations,
+)
+
+
+class TestBasicEnumeration:
+    def test_raid4_single_option_per_element(self):
+        code = Raid4Code(3, k_rows=2)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        assert rec.n_failed == 2
+        # each failed element has exactly its row equation
+        for opts in rec.options:
+            assert len(opts) == 1
+        rec.validate()
+
+    def test_rdp_two_options_depth1_mostly(self):
+        code = RdpCode(5)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        rec.validate()
+        assert rec.is_complete()
+        # each failed element has a row equation and possibly a diagonal one
+        for opts in rec.options:
+            assert 1 <= len(opts) <= 2
+
+    def test_failed_eids_sorted(self):
+        code = RdpCode(5)
+        rec = get_recovery_equations(code, code.layout.disk_mask(1), depth=1)
+        assert rec.failed_eids == sorted(rec.failed_eids)
+
+    def test_read_masks_exclude_failed(self):
+        code = EvenOddCode(5)
+        failed = code.layout.disk_mask(0)
+        rec = get_recovery_equations(code, failed, depth=2)
+        for opts in rec.options:
+            for opt in opts:
+                assert opt.read_mask & failed == 0
+
+    def test_iteration_equations_allowed(self):
+        """Equations touching earlier failed elements must appear for later
+        slots (Greenan's iteration)."""
+        code = RdpCode(5)
+        failed = code.layout.disk_mask(0)
+        rec = get_recovery_equations(code, failed, depth=2)
+        touching_earlier = 0
+        recovered = 0
+        for i, f in enumerate(rec.failed_eids):
+            for opt in rec.options[i]:
+                if opt.equation & failed & recovered:
+                    touching_earlier += 1
+            recovered |= 1 << f
+        assert touching_earlier > 0
+
+    def test_max_options_cap(self):
+        code = StarCode(5)
+        rec = get_recovery_equations(
+            code, code.layout.disk_mask(0), depth=2, max_options_per_element=2
+        )
+        assert all(len(opts) <= 2 for opts in rec.options)
+
+    def test_dominated_options_pruned(self):
+        code = RdpCode(5)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=3)
+        for opts in rec.options:
+            for a in opts:
+                for b in opts:
+                    if a is not b:
+                        assert not (
+                            a.read_mask & b.read_mask == a.read_mask
+                        ), "superset read mask survived pruning"
+
+
+class TestExhaustive:
+    def test_matches_bounded_on_small_code(self):
+        """Full row-space enumeration finds nothing cheaper than depth-3 on
+        the smallest RDP instance."""
+        code = RdpCode(5)
+        failed = code.layout.disk_mask(0)
+        bounded = get_recovery_equations(code, failed, depth=3)
+        full = exhaustive_recovery_equations(code, failed)
+        for slot in range(bounded.n_failed):
+            best_bounded = min(o.read_mask.bit_count() for o in bounded.options[slot])
+            best_full = min(o.read_mask.bit_count() for o in full.options[slot])
+            assert best_bounded == best_full
+
+    def test_space_limit_guard(self):
+        code = RdpCode(13)
+        with pytest.raises(ValueError, match="over the limit"):
+            exhaustive_recovery_equations(code, code.layout.disk_mask(0), space_limit=4)
+
+    def test_exhaustive_validates(self):
+        code = Raid4Code(3, k_rows=2)
+        rec = exhaustive_recovery_equations(code, code.layout.disk_mask(1))
+        rec.validate()
+        assert rec.is_complete()
+
+
+class TestMultiElementMasks:
+    def test_partial_disk_failure(self):
+        """A failure mask smaller than a disk works (latent sector errors)."""
+        code = RdpCode(5)
+        lay = code.layout
+        failed = lay.element_mask([(0, 0), (2, 3)])
+        rec = get_recovery_equations(code, failed, depth=2)
+        rec.validate()
+        assert rec.is_complete()
+        assert rec.n_failed == 2
+
+    def test_two_disk_failure_star(self):
+        code = StarCode(5)
+        failed = code.layout.disk_mask(0) | code.layout.disk_mask(1)
+        rec = get_recovery_equations(code, failed, depth=3)
+        rec.validate()
+        # completeness may require the search; at least some slots have options
+        assert any(rec.options)

@@ -1,0 +1,66 @@
+"""Tests for the Gaussian-elimination decoding-equation fallback."""
+
+import pytest
+
+from repro.codes import CauchyRSCode, RdpCode, StarCode
+from repro.equations import gaussian_recovery_equations, get_recovery_equations
+
+
+class TestGaussianEquations:
+    def test_isolates_each_failed_element(self):
+        code = RdpCode(5)
+        lay = code.layout
+        failed = lay.disk_mask(0)
+        eids = sorted(d * lay.k_rows + r for d, r in lay.iter_elements(failed))
+        eqs = gaussian_recovery_equations(code, eids)
+        for f, eq in zip(eids, eqs):
+            assert eq is not None
+            assert (eq >> f) & 1
+            # failed support is exactly {f}
+            assert eq & failed == 1 << f
+
+    def test_equations_in_code_space(self):
+        """Every synthesized equation must vanish on codewords."""
+        import random
+
+        code = StarCode(5)
+        lay = code.layout
+        failed = lay.disk_mask(0) | lay.disk_mask(1)
+        eids = sorted(d * lay.k_rows + r for d, r in lay.iter_elements(failed))
+        eqs = gaussian_recovery_equations(code, eids)
+        rng = random.Random(7)
+        vec = code.encode_vector(rng.getrandbits(len(code.data_eids())))
+        for eq in eqs:
+            assert eq is not None
+            assert (eq & vec).bit_count() % 2 == 0
+
+    def test_unrecoverable_yields_none(self):
+        code = RdpCode(5)
+        lay = code.layout
+        failed = lay.disk_mask(0) | lay.disk_mask(1) | lay.disk_mask(2)
+        eids = sorted(d * lay.k_rows + r for d, r in lay.iter_elements(failed))
+        eqs = gaussian_recovery_equations(code, eids)
+        assert any(eq is None for eq in eqs)
+
+    def test_ensure_complete_fills_only_empty_slots(self):
+        """Options found by the bounded enumeration are kept; the fallback
+        only plugs holes."""
+        code = CauchyRSCode(4, 2, w=4)
+        failed = code.layout.disk_mask(2)
+        plain = get_recovery_equations(code, failed, depth=1)
+        completed = get_recovery_equations(
+            code, failed, depth=1, ensure_complete=True
+        )
+        assert not plain.is_complete()
+        assert completed.is_complete()
+        for i in range(plain.n_failed):
+            if plain.options[i]:
+                assert completed.options[i] == plain.options[i]
+            else:
+                assert len(completed.options[i]) == 1
+
+    def test_completed_equations_validate(self):
+        code = CauchyRSCode(4, 2, w=4)
+        failed = code.layout.disk_mask(1)
+        rec = get_recovery_equations(code, failed, depth=1, ensure_complete=True)
+        rec.validate()

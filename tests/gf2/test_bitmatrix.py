@@ -1,0 +1,137 @@
+"""Unit tests for repro.gf2.bitmatrix."""
+
+import pytest
+
+from repro.gf2 import BitMatrix
+
+
+class TestConstruction:
+    def test_identity_shape_and_entries(self):
+        m = BitMatrix.identity(4)
+        assert m.shape == (4, 4)
+        for i in range(4):
+            for j in range(4):
+                assert m.get(i, j) == (1 if i == j else 0)
+
+    def test_zeros(self):
+        m = BitMatrix.zeros(3, 5)
+        assert m.shape == (3, 5)
+        assert m.is_zero()
+
+    def test_from_dense_roundtrip(self):
+        table = [[1, 0, 1], [0, 1, 1]]
+        m = BitMatrix.from_dense(table)
+        assert m.to_dense() == table
+
+    def test_from_dense_ragged_raises(self):
+        with pytest.raises(ValueError):
+            BitMatrix.from_dense([[1, 0], [1]])
+
+    def test_row_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            BitMatrix(2, [0b100])
+
+    def test_negative_ncols_raises(self):
+        with pytest.raises(ValueError):
+            BitMatrix(-1)
+
+    def test_rows_from_sequences(self):
+        m = BitMatrix(3, [[1, 1, 0], 0b100])
+        assert m.rows == [0b011, 0b100]
+
+
+class TestAccessors:
+    def test_set_and_get(self):
+        m = BitMatrix.zeros(2, 2)
+        m.set(0, 1, 1)
+        assert m.get(0, 1) == 1
+        m.set(0, 1, 0)
+        assert m.get(0, 1) == 0
+
+    def test_get_out_of_range(self):
+        m = BitMatrix.identity(2)
+        with pytest.raises(IndexError):
+            m.get(0, 2)
+
+    def test_column(self):
+        m = BitMatrix.from_dense([[1, 0], [1, 1]])
+        assert m.column(0) == 0b11
+        assert m.column(1) == 0b10
+
+    def test_row_weight_and_density(self):
+        m = BitMatrix.from_dense([[1, 1, 0], [0, 0, 1]])
+        assert m.row_weight(0) == 2
+        assert m.row_weight(1) == 1
+        assert m.density() == 3
+
+
+class TestAlgebra:
+    def test_transpose_involution(self):
+        m = BitMatrix.from_dense([[1, 0, 1], [1, 1, 0]])
+        assert m.transpose().transpose() == m
+
+    def test_mul_vec_identity(self):
+        m = BitMatrix.identity(5)
+        assert m.mul_vec(0b10110) == 0b10110
+
+    def test_vec_mul_selects_xor_of_rows(self):
+        m = BitMatrix(3, [0b001, 0b010, 0b100])
+        assert m.vec_mul(0b101) == 0b101
+
+    def test_matmul_identity(self):
+        m = BitMatrix.from_dense([[1, 1], [0, 1], [1, 0]])
+        assert m @ BitMatrix.identity(2) == m
+        assert BitMatrix.identity(3) @ m == m
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BitMatrix.identity(2) @ BitMatrix.identity(3)
+
+    def test_matmul_known_product(self):
+        a = BitMatrix.from_dense([[1, 1], [0, 1]])
+        b = BitMatrix.from_dense([[1, 0], [1, 1]])
+        # over GF(2): [[1+1, 0+1], [1, 1]] = [[0,1],[1,1]]
+        assert (a @ b).to_dense() == [[0, 1], [1, 1]]
+
+    def test_add_is_xor(self):
+        a = BitMatrix.from_dense([[1, 1], [0, 1]])
+        b = BitMatrix.from_dense([[1, 0], [1, 1]])
+        assert (a + b).to_dense() == [[0, 1], [1, 0]]
+        assert (a + a).is_zero()
+
+    def test_hstack_vstack(self):
+        a = BitMatrix.identity(2)
+        h = a.hstack(a)
+        assert h.shape == (2, 4)
+        assert h.to_dense() == [[1, 0, 1, 0], [0, 1, 0, 1]]
+        v = a.vstack(a)
+        assert v.shape == (4, 2)
+
+    def test_submatrix(self):
+        m = BitMatrix.from_dense([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        s = m.submatrix([0, 2], [2, 0])
+        assert s.to_dense() == [[1, 1], [0, 1]]
+
+    def test_mul_vec_parity(self):
+        m = BitMatrix(3, [0b111])
+        assert m.mul_vec(0b101) == 0  # even overlap
+        assert m.mul_vec(0b100) == 1  # odd overlap
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        m = BitMatrix.identity(2)
+        c = m.copy()
+        c.set(0, 1, 1)
+        assert m.get(0, 1) == 0
+
+    def test_pretty(self):
+        m = BitMatrix.from_dense([[1, 0], [0, 1]])
+        assert m.pretty() == "1.\n.1"
+
+    def test_eq_hash(self):
+        a = BitMatrix.identity(3)
+        b = BitMatrix.identity(3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitMatrix.zeros(3, 3)

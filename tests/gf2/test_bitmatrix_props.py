@@ -1,0 +1,83 @@
+"""Hypothesis algebra laws for BitMatrix."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import BitMatrix
+from repro.gf2.linalg import rank
+
+
+def rand_matrix(rng, nrows, ncols):
+    m = BitMatrix(ncols)
+    m.rows = [rng.getrandbits(ncols) for _ in range(nrows)]
+    return m
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_matmul_associative(seed):
+    rng = random.Random(seed)
+    a, b, c = rng.randrange(1, 6), rng.randrange(1, 6), rng.randrange(1, 6)
+    d = rng.randrange(1, 6)
+    A = rand_matrix(rng, a, b)
+    B = rand_matrix(rng, b, c)
+    C = rand_matrix(rng, c, d)
+    assert (A @ B) @ C == A @ (B @ C)
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_transpose_of_product(seed):
+    rng = random.Random(seed)
+    a, b, c = rng.randrange(1, 6), rng.randrange(1, 6), rng.randrange(1, 6)
+    A = rand_matrix(rng, a, b)
+    B = rand_matrix(rng, b, c)
+    assert (A @ B).transpose() == B.transpose() @ A.transpose()
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_matmul_distributes_over_add(seed):
+    rng = random.Random(seed)
+    a, b, c = rng.randrange(1, 6), rng.randrange(1, 6), rng.randrange(1, 6)
+    A = rand_matrix(rng, a, b)
+    B = rand_matrix(rng, b, c)
+    C = rand_matrix(rng, b, c)
+    assert A @ (B + C) == (A @ B) + (A @ C)
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_mul_vec_agrees_with_matmul(seed):
+    rng = random.Random(seed)
+    a, b = rng.randrange(1, 7), rng.randrange(1, 7)
+    A = rand_matrix(rng, a, b)
+    v = rng.getrandbits(b)
+    col = BitMatrix(1, [((v >> j) & 1) for j in range(b)])
+    assert (A @ col).column(0) == A.mul_vec(v)
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_rank_of_product_bounded(seed):
+    rng = random.Random(seed)
+    a, b, c = rng.randrange(1, 7), rng.randrange(1, 7), rng.randrange(1, 7)
+    A = rand_matrix(rng, a, b)
+    B = rand_matrix(rng, b, c)
+    assert rank(A @ B) <= min(rank(A), rank(B))
+
+
+@given(st.integers(0, 2**29))
+@settings(max_examples=50, deadline=None)
+def test_vec_mul_is_row_combination(seed):
+    rng = random.Random(seed)
+    n, m = rng.randrange(1, 7), rng.randrange(1, 8)
+    A = rand_matrix(rng, n, m)
+    sel = rng.getrandbits(n)
+    expect = 0
+    for i in range(n):
+        if (sel >> i) & 1:
+            expect ^= A.rows[i]
+    assert A.vec_mul(sel) == expect

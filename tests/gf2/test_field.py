@@ -1,0 +1,94 @@
+"""Unit and property tests for GF(2^w) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import BitMatrix, GF2w
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2w(4)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GF2w(8)
+
+
+class TestTables:
+    @pytest.mark.parametrize("w", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_log_exp_inverse_maps(self, w):
+        f = GF2w(w)
+        for a in range(1, f.size):
+            assert f.exp[f.log[a]] == a
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + 1 is not primitive (not even irreducible)
+        with pytest.raises(ValueError):
+            GF2w(4, poly=0b0001)
+
+    def test_unknown_w_without_poly(self):
+        with pytest.raises(ValueError):
+            GF2w(12)
+
+
+class TestArithmetic:
+    def test_mul_by_zero_and_one(self, gf256):
+        for a in [0, 1, 2, 77, 255]:
+            assert gf256.mul(a, 0) == 0
+            assert gf256.mul(0, a) == 0
+            assert gf256.mul(a, 1) == a
+
+    def test_known_gf16_products(self, gf16):
+        # x * x = x^2 -> 2*2 = 4; x^3 * x = x^4 = x + 1 -> 8*2 = 3
+        assert gf16.mul(2, 2) == 4
+        assert gf16.mul(8, 2) == 3
+
+    def test_inverse(self, gf256):
+        for a in range(1, 256):
+            assert gf256.mul(a, gf256.inv(a)) == 1
+
+    def test_inv_zero_raises(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+
+    def test_div(self, gf16):
+        for a in range(16):
+            for b in range(1, 16):
+                assert gf16.mul(gf16.div(a, b), b) == a
+
+    def test_pow(self, gf16):
+        assert gf16.pow(2, 0) == 1
+        assert gf16.pow(2, 4) == 3  # x^4 = x + 1
+        assert gf16.pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf16.pow(0, 0)
+        assert gf16.mul(gf16.pow(2, -1), 2) == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_field_laws(self, a, b, c):
+        f = GF2w(8)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.mul(a, f.mul(b, c)) == f.mul(f.mul(a, b), c)
+        assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+
+class TestMulMatrix:
+    @pytest.mark.parametrize("w", [2, 3, 4, 8])
+    def test_matrix_matches_field_mul(self, w):
+        f = GF2w(w)
+        for a in range(f.size):
+            m = f.mul_matrix(a)
+            for v in range(f.size):
+                assert m.mul_vec(v) == f.mul(a, v)
+
+    def test_matrix_of_one_is_identity(self, gf16):
+        assert gf16.mul_matrix(1) == BitMatrix.identity(4)
+
+    def test_matrix_product_is_field_product(self, gf16):
+        a, b = 7, 11
+        ma, mb = gf16.mul_matrix(a), gf16.mul_matrix(b)
+        assert (ma @ mb) == gf16.mul_matrix(gf16.mul(a, b))

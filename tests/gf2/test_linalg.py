@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.gf2.linalg."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2 import BitMatrix, inverse, nullspace, rank, row_reduce, solve
+from repro.gf2.linalg import is_invertible
+
+
+def random_matrix(rng, nrows, ncols):
+    m = BitMatrix(ncols)
+    m.rows = [rng.getrandbits(ncols) for _ in range(nrows)]
+    return m
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert rank(BitMatrix.identity(7)) == 7
+
+    def test_zero_matrix(self):
+        assert rank(BitMatrix.zeros(4, 4)) == 0
+
+    def test_duplicate_rows(self):
+        m = BitMatrix(3, [0b101, 0b101, 0b010])
+        assert rank(m) == 2
+
+    def test_rank_le_min_dim(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            m = random_matrix(rng, 5, 9)
+            assert rank(m) <= 5
+
+
+class TestRowReduce:
+    def test_rref_pivots_unique(self):
+        m = BitMatrix(4, [0b1010, 0b0110, 0b1100])
+        rref, pivots = row_reduce(m)
+        assert len(pivots) == rank(m)
+        # each pivot column has exactly one 1 in the rref
+        for i, c in enumerate(pivots):
+            col = sum(((r >> c) & 1) for r in rref.rows)
+            assert col == 1
+
+    def test_rref_preserves_rowspace(self):
+        rng = random.Random(2)
+        m = random_matrix(rng, 6, 8)
+        rref, _ = row_reduce(m)
+        # every original row must be expressible from rref rows: rank of the
+        # stack equals rank of rref
+        assert rank(m.vstack(rref)) == rank(rref)
+
+
+class TestSolve:
+    def test_solve_identity(self):
+        m = BitMatrix.identity(5)
+        assert solve(m, 0b10011) == 0b10011
+
+    def test_solve_inconsistent(self):
+        m = BitMatrix(2, [0b01, 0b01])  # x0 = b0, x0 = b1
+        assert solve(m, 0b01) is None
+
+    def test_solve_underdetermined(self):
+        m = BitMatrix(3, [0b111])
+        x = solve(m, 0b1)
+        assert x is not None
+        assert m.mul_vec(x) == 0b1
+
+    @given(st.integers(0, 2**30 - 1), st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_solve_random_consistent(self, seed, seed2):
+        rng = random.Random(seed * 1009 + seed2)
+        n = rng.randrange(1, 8)
+        m = random_matrix(rng, rng.randrange(1, 8), n)
+        x_true = rng.getrandbits(n)
+        rhs = m.mul_vec(x_true)
+        x = solve(m, rhs)
+        assert x is not None
+        assert m.mul_vec(x) == rhs
+
+
+class TestInverse:
+    def test_inverse_identity(self):
+        assert inverse(BitMatrix.identity(4)) == BitMatrix.identity(4)
+
+    def test_singular_returns_none(self):
+        m = BitMatrix(2, [0b11, 0b11])
+        assert inverse(m) is None
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            inverse(BitMatrix.zeros(2, 3))
+
+    @given(st.integers(0, 2**30 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_roundtrip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 9)
+        m = random_matrix(rng, n, n)
+        inv = inverse(m)
+        if inv is None:
+            assert rank(m) < n
+        else:
+            assert (m @ inv) == BitMatrix.identity(n)
+            assert (inv @ m) == BitMatrix.identity(n)
+
+    def test_is_invertible(self):
+        assert is_invertible(BitMatrix.identity(3))
+        assert not is_invertible(BitMatrix.zeros(3, 3))
+        assert not is_invertible(BitMatrix.zeros(2, 3))
+
+
+class TestNullspace:
+    def test_identity_trivial_nullspace(self):
+        assert nullspace(BitMatrix.identity(6)) == []
+
+    def test_zero_matrix_full_nullspace(self):
+        ns = nullspace(BitMatrix.zeros(2, 4))
+        assert len(ns) == 4
+
+    @given(st.integers(0, 2**30 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_vectors_annihilate(self, seed):
+        rng = random.Random(seed)
+        m = random_matrix(rng, rng.randrange(1, 7), rng.randrange(1, 10))
+        ns = nullspace(m)
+        for v in ns:
+            assert m.mul_vec(v) == 0
+        # rank-nullity
+        assert rank(m) + len(ns) == m.ncols

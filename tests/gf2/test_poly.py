@@ -1,0 +1,126 @@
+"""Tests for GF(2) polynomial arithmetic and primality machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.field import PRIMITIVE_POLYS
+from repro.gf2.poly import (
+    add,
+    all_ones,
+    degree,
+    divmod_poly,
+    gcd,
+    is_irreducible,
+    is_primitive,
+    mod,
+    mul,
+    mulmod,
+    powmod,
+)
+
+
+class TestBasics:
+    def test_degree(self):
+        assert degree(0) == -1
+        assert degree(1) == 0
+        assert degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert mul(0b11, 0b11) == 0b101
+        # x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert mul(0b10, 0b111) == 0b1110
+
+    def test_divmod_identity(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            a = rng.getrandbits(12)
+            b = rng.getrandbits(6) | (1 << 6)
+            q, r = divmod_poly(a, b)
+            assert mul(q, b) ^ r == a
+            assert degree(r) < degree(b)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod_poly(1, 0)
+
+    def test_gcd_of_multiples(self):
+        g = 0b111  # x^2+x+1 (irreducible)
+        assert gcd(mul(g, 0b10), mul(g, 0b11)) == g
+
+    def test_powmod_small(self):
+        m = 0b1011  # x^3 + x + 1, primitive
+        assert powmod(0b10, 7, m) == 1  # x^7 = 1 in GF(8)
+        assert powmod(0b10, 0, m) == 1
+        with pytest.raises(ValueError):
+            powmod(0b10, -1, m)
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        for poly in (0b11, 0b111, 0b1011, 0b10011, 0b100101):
+            assert is_irreducible(poly), bin(poly)
+
+    def test_known_reducible(self):
+        # x^2 = x*x ; x^2+1 = (x+1)^2 ; x^4+x^2+1 = (x^2+x+1)^2
+        for poly in (0b100, 0b101, 0b10101):
+            assert not is_irreducible(poly), bin(poly)
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_exhaustive_degree_3(self):
+        """Exactly two irreducible cubics over GF(2): x^3+x+1, x^3+x^2+1."""
+        irr = [p for p in range(8, 16) if is_irreducible(p)]
+        assert sorted(irr) == [0b1011, 0b1101]
+
+
+class TestPrimitivity:
+    def test_field_default_polys_are_primitive(self):
+        for w, low_bits in PRIMITIVE_POLYS.items():
+            poly = low_bits | (1 << w)
+            assert is_primitive(poly), f"w={w}"
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4+x^3+x^2+x+1 is irreducible, but x has order 5 != 15
+        poly = 0b11111
+        assert is_irreducible(poly)
+        assert not is_primitive(poly)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(0b101)
+
+
+class TestBlaumRothModulus:
+    def test_all_ones(self):
+        assert all_ones(5) == 0b11111
+        with pytest.raises(ValueError):
+            all_ones(1)
+
+    def test_x_has_order_p_mod_Mp(self):
+        """In GF(2)[x]/M_p(x), x^p = 1 — the ring fact behind Blaum-Roth."""
+        for p in (3, 5, 7, 11):
+            m = all_ones(p)
+            assert powmod(0b10, p, m) == mod(1, m)
+
+    def test_xd_plus_one_invertible(self):
+        """gcd(x^d + 1, M_p) = 1 for 1 <= d < p — the MDS condition."""
+        for p in (5, 7):
+            m = all_ones(p)
+            for d in range(1, p):
+                assert gcd(powmod(0b10, d, m) ^ 1, m) == 1
+
+
+@given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1), st.integers(1, 2**8 - 1))
+@settings(max_examples=80, deadline=None)
+def test_ring_laws(a, b, m):
+    assert mul(a, b) == mul(b, a)
+    assert add(a, b) == add(b, a)
+    assert mulmod(a, b, m) == mulmod(b, a, m)
+    # distributivity
+    c = 0b1101
+    assert mul(a, add(b, c)) == add(mul(a, b), mul(a, c))

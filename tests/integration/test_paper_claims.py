@@ -1,0 +1,160 @@
+"""An executable abstract: one test per headline claim of the paper.
+
+Each test names the claim, the paper's number, and the band our
+reproduction must land in.  Bands are deliberately generous where the
+substitutions (simulator, Liber8tion-class code, tie-break behaviour)
+shift constants — EXPERIMENTS.md discusses each gap.
+"""
+
+import pytest
+
+from repro.analysis import (
+    SchemeCache,
+    aggregate_improvements,
+    figure3_series,
+)
+from repro.codes import Liber8tionCode, RdpCode, make_code
+from repro.disksim import simulate_stack_recovery
+from repro.recovery import (
+    RecoveryPlanner,
+    c_scheme,
+    khan_scheme,
+    naive_scheme,
+    u_scheme,
+)
+
+DISKS = range(7, 13)  # trimmed grid keeps this module seconds-fast
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SchemeCache(depth=1)
+
+
+@pytest.fixture(scope="module")
+def fig3(cache):
+    return {
+        fam: figure3_series(fam, DISKS, cache=cache)
+        for fam in ("rdp", "evenodd", "liberation")
+    }
+
+
+class TestSection2Claims:
+    def test_xiang_25_percent_io_saving(self):
+        """'Xiang's recovery schemes reduce 25% I/O cost compared with the
+        naive recovery scheme' (Sec. II-B) — for RDP."""
+        code = RdpCode(7)
+        naive = naive_scheme(code, 0).total_reads
+        optimal = khan_scheme(code, 0, depth=1).total_reads
+        assert (naive - optimal) / naive == pytest.approx(0.25)
+
+    def test_unbalanced_min_read_exists(self):
+        """'much data may be allocated on merely a portion of disks' — Khan
+        ties include genuinely unbalanced schemes (Fig. 1a)."""
+        code = RdpCode(7)
+        khan = khan_scheme(code, 0, depth=1)
+        c = c_scheme(code, 0, depth=1)
+        assert khan.max_load > c.max_load
+
+
+class TestFigure1Claim:
+    def test_balanced_scheme_18_5_percent_faster(self):
+        """Paper: 18.5% higher recovery speed; we accept 10-30% on the
+        simulator."""
+        code = RdpCode(7)
+        khan = simulate_stack_recovery(code, [khan_scheme(code, 0, depth=1)])
+        bal = simulate_stack_recovery(code, [c_scheme(code, 0, depth=1)])
+        gain = 1 - khan.speed_mb_s / bal.speed_mb_s
+        assert 0.10 < gain < 0.30
+
+
+class TestFigure2Claim:
+    def test_u_trades_total_for_max_load(self):
+        """Paper: total 47->48, max 8->6; our Liber8tion-class substitute
+        must show the same trade direction."""
+        code = Liber8tionCode(8)
+        c = c_scheme(code, 1, depth=1)
+        u = u_scheme(code, 1, depth=1)
+        assert u.total_reads == c.total_reads + 1
+        assert u.max_load < c.max_load
+
+    def test_16_percent_time_saving_band(self):
+        code = Liber8tionCode(8)
+        c = simulate_stack_recovery(code, [c_scheme(code, 1, depth=1)])
+        u = simulate_stack_recovery(code, [u_scheme(code, 1, depth=1)])
+        gain = 1 - c.speed_mb_s / u.speed_mb_s
+        assert 0.05 < gain < 0.25  # paper: 0.16
+
+
+class TestSection5Claims:
+    def test_c_improvement_band(self, fig3):
+        """Paper: C up to 22.9%; we require a double-digit maximum."""
+        agg = aggregate_improvements(fig3)
+        assert 10.0 < agg["c"]["max_percent"] < 30.0
+
+    def test_u_improvement_band(self, fig3):
+        """Paper: U up to 25.0%, average 16.4%; we require max in
+        [15, 30] and mean above 5%."""
+        agg = aggregate_improvements(fig3)
+        assert 15.0 < agg["u"]["max_percent"] < 30.0
+        assert agg["u"]["mean_percent"] > 5.0
+
+    def test_u_never_worse_than_c(self, fig3):
+        for series in fig3.values():
+            for c, u in zip(series["c"], series["u"]):
+                assert u <= c + 1e-9
+
+    def test_star_needs_fewer_parallel_reads(self, cache):
+        """'there are more calculation equations in the higher failure
+        tolerance code ... which potentially needs less recovery time'
+        (Sec. V-A): STAR's U curve sits below RDP's at equal disks."""
+        star = figure3_series("star", DISKS, cache=cache)
+        rdp = figure3_series("rdp", DISKS, cache=cache)
+        star_mean = sum(star["u"]) / len(star["u"])
+        rdp_mean = sum(rdp["u"]) / len(rdp["u"])
+        assert star_mean < rdp_mean
+
+    def test_c_runs_same_search_scale_as_khan(self):
+        """Sec. V-B: C's extra work over Khan is marginal — same order of
+        expanded states."""
+        code = make_code("rdp", 10)
+        k = khan_scheme(code, 0, depth=1).expanded_states
+        c = c_scheme(code, 0, depth=1).expanded_states
+        assert c <= 2 * k
+
+
+class TestSection6Claims:
+    def test_measured_improvement_below_theoretical(self, cache):
+        """Sec. VI-B: seeks dilute the speedup — the simulated time
+        reduction must not exceed the parallel-read reduction by more than
+        noise, for the U scheme on RDP."""
+        from repro.analysis import figure4_series
+
+        f3 = figure3_series("rdp", DISKS, cache=cache)
+        f4 = figure4_series("rdp", DISKS, cache=cache)
+        for i in range(len(list(DISKS))):
+            theory = 1 - f3["u"][i] / f3["khan"][i]
+            measured = 1 - f4["khan"][i] / f4["u"][i]
+            assert measured <= theory + 0.02
+
+    def test_recovery_speed_magnitudes(self, cache):
+        """Speeds must land in the tens of MB/s (paper: 35-65; simulator
+        runs ~20-30% hot, see docs/simulator.md)."""
+        from repro.analysis import figure4_series
+
+        f4 = figure4_series("evenodd", DISKS, cache=cache)
+        for series in f4.values():
+            assert all(30.0 < v < 120.0 for v in series)
+
+    def test_correctness_check_of_the_paper(self):
+        """'we also compare the original data in the virtual failed disk
+        with the recovered data' — on every algorithm."""
+        from repro.codec import verify_scheme_on_random_data
+
+        code = make_code("rdp", 8)
+        for alg in ("naive", "khan", "c", "u"):
+            planner = RecoveryPlanner(code, alg, depth=1)
+            for d in code.layout.data_disks:
+                assert verify_scheme_on_random_data(
+                    code, planner.scheme_for_disk(d), seed=d
+                )

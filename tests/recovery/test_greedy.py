@@ -1,0 +1,54 @@
+"""Tests for the greedy approximate generator."""
+
+import pytest
+
+from repro.codec import verify_scheme_on_random_data
+from repro.codes import EvenOddCode, Liber8tionCode, RdpCode, make_code
+from repro.recovery import greedy_scheme, khan_scheme, u_scheme
+
+
+class TestValidity:
+    @pytest.mark.parametrize("alg", ["khan", "c", "u"])
+    def test_schemes_valid_and_executable(self, alg):
+        code = RdpCode(7)
+        for disk in code.layout.data_disks:
+            s = greedy_scheme(code, disk, algorithm=alg)
+            s.validate(code)
+            assert verify_scheme_on_random_data(code, s, seed=1)
+
+    def test_flagged_inexact(self):
+        s = greedy_scheme(RdpCode(5), 0)
+        assert not s.exact
+        assert s.algorithm == "greedy_u"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            greedy_scheme(RdpCode(5), 0, algorithm="x")
+
+
+class TestQuality:
+    def test_within_one_of_exact_on_rdp(self):
+        code = RdpCode(11)
+        for disk in (0, 3, 7):
+            exact = u_scheme(code, disk, depth=1)
+            approx = greedy_scheme(code, disk, algorithm="u")
+            assert approx.max_load <= exact.max_load + 1
+
+    def test_khan_mode_total_close(self):
+        code = EvenOddCode(7)
+        for disk in (0, 2):
+            exact = khan_scheme(code, disk, depth=1)
+            approx = greedy_scheme(code, disk, algorithm="khan")
+            assert approx.total_reads <= exact.total_reads + code.layout.k_rows
+
+    def test_restarts_never_hurt(self):
+        code = Liber8tionCode(8)
+        one = greedy_scheme(code, 1, algorithm="u", restarts=1)
+        many = greedy_scheme(code, 1, algorithm="u", restarts=5)
+        assert (many.max_load, many.total_reads) <= (one.max_load, one.total_reads)
+
+    def test_much_cheaper_than_exact(self):
+        code = make_code("rdp", 14)
+        exact = u_scheme(code, 0, depth=1)
+        approx = greedy_scheme(code, 0, algorithm="u")
+        assert approx.expanded_states < exact.expanded_states / 50

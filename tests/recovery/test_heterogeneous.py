@@ -1,0 +1,57 @@
+"""Tests for the heterogeneous weight models."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.disksim import SAVVIO_10K3, DiskParams
+from repro.recovery.heterogeneous import (
+    heterogeneous_u_scheme,
+    weights_from_disk_params,
+    weights_from_speed_factors,
+)
+
+
+class TestWeightModels:
+    def test_uniform_params_give_unit_weights(self):
+        weights = weights_from_disk_params([SAVVIO_10K3] * 4)
+        assert weights == [1.0] * 4
+
+    def test_slower_disk_weighs_more(self):
+        params = [SAVVIO_10K3, SAVVIO_10K3.scaled(0.5)]
+        weights = weights_from_disk_params(params)
+        assert weights[0] == 1.0
+        assert weights[1] > 1.0
+
+    def test_speed_factor_weights(self):
+        assert weights_from_speed_factors([1.0, 2.0]) == [1.0, 0.5]
+        with pytest.raises(ValueError):
+            weights_from_speed_factors([0.0])
+
+
+class TestHeterogeneousScheme:
+    def test_param_count_checked(self):
+        code = RdpCode(5)
+        with pytest.raises(ValueError, match="DiskParams"):
+            heterogeneous_u_scheme(code, 0, [SAVVIO_10K3] * 3)
+
+    def test_avoids_slow_disk(self):
+        code = RdpCode(7)
+        lay = code.layout
+        params = [SAVVIO_10K3] * lay.n_disks
+        params[4] = SAVVIO_10K3.scaled(0.25)  # 4x slower
+        scheme = heterogeneous_u_scheme(code, 0, params)
+        scheme.validate(code)
+        weights = weights_from_disk_params(params)
+        from repro.recovery import u_scheme
+
+        uniform = u_scheme(code, 0, depth=2)
+        assert scheme.weighted_max_load(weights) <= uniform.weighted_max_load(weights)
+
+    def test_uniform_array_matches_plain_u(self):
+        code = RdpCode(5)
+        het = heterogeneous_u_scheme(code, 0, [SAVVIO_10K3] * code.layout.n_disks)
+        from repro.recovery import u_scheme
+
+        plain = u_scheme(code, 0, depth=2)
+        assert het.max_load == plain.max_load
+        assert het.total_reads == plain.total_reads

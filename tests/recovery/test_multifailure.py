@@ -1,0 +1,95 @@
+"""Tests for arbitrary failure situations (Sec. V-D)."""
+
+import pytest
+
+from repro.codes import EvenOddCode, RdpCode, StarCode
+from repro.recovery import recover_failure
+from repro.recovery.multifailure import UnrecoverableError
+from repro.codec import verify_scheme_on_random_data
+
+
+class TestRecoverability:
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            recover_failure(RdpCode(5), 0)
+
+    def test_three_disks_unrecoverable_in_raid6(self):
+        code = RdpCode(5)
+        mask = (
+            code.layout.disk_mask(0)
+            | code.layout.disk_mask(1)
+            | code.layout.disk_mask(2)
+        )
+        with pytest.raises(UnrecoverableError):
+            recover_failure(code, mask)
+
+    def test_two_disks_recoverable_in_raid6(self):
+        code = RdpCode(5)
+        mask = code.layout.disk_mask(0) | code.layout.disk_mask(1)
+        scheme = recover_failure(code, mask, algorithm="u")
+        scheme.validate(code)
+        assert verify_scheme_on_random_data(code, scheme, seed=3)
+
+    def test_double_failure_star(self):
+        code = StarCode(5)
+        mask = code.layout.disk_mask(0) | code.layout.disk_mask(2)
+        for alg in ("khan", "c", "u"):
+            scheme = recover_failure(code, mask, algorithm=alg)
+            scheme.validate(code)
+            assert verify_scheme_on_random_data(code, scheme, seed=4)
+
+    def test_triple_failure_star(self):
+        code = StarCode(5)
+        mask = (
+            code.layout.disk_mask(0)
+            | code.layout.disk_mask(1)
+            | code.layout.disk_mask(4)
+        )
+        scheme = recover_failure(code, mask, algorithm="u", max_depth=4)
+        scheme.validate(code)
+        assert verify_scheme_on_random_data(code, scheme, seed=5)
+
+
+class TestPartialFailures:
+    def test_latent_sector_errors(self):
+        """Scattered failed elements across several disks (Sec. V-D)."""
+        code = EvenOddCode(5)
+        lay = code.layout
+        mask = lay.element_mask([(0, 0), (2, 3), (4, 1)])
+        scheme = recover_failure(code, mask, algorithm="u")
+        scheme.validate(code)
+        assert verify_scheme_on_random_data(code, scheme, seed=6)
+
+    def test_whole_disk_plus_sector(self):
+        """Whole-disk failure combined with a latent sector error."""
+        code = RdpCode(5)
+        lay = code.layout
+        mask = lay.disk_mask(1) | lay.element_mask([(3, 2)])
+        scheme = recover_failure(code, mask, algorithm="c")
+        scheme.validate(code)
+        assert verify_scheme_on_random_data(code, scheme, seed=7)
+
+    def test_unknown_algorithm(self):
+        code = RdpCode(5)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            recover_failure(code, 1, algorithm="x")
+
+
+class TestLoadBalanceInMultiFailure:
+    def test_u_beats_khan_maxload_on_double_failure(self):
+        code = StarCode(7)
+        mask = code.layout.disk_mask(0) | code.layout.disk_mask(3)
+        k = recover_failure(code, mask, algorithm="khan")
+        u = recover_failure(code, mask, algorithm="u")
+        assert u.max_load <= k.max_load
+
+    def test_weighted_multifailure(self):
+        code = StarCode(5)
+        lay = code.layout
+        mask = lay.disk_mask(0) | lay.disk_mask(1)
+        weights = [1.0] * lay.n_disks
+        weights[2] = 8.0
+        scheme = recover_failure(code, mask, algorithm="u", weights=weights)
+        scheme.validate(code)
+        uniform = recover_failure(code, mask, algorithm="u")
+        assert scheme.weighted_max_load(weights) <= uniform.weighted_max_load(weights)

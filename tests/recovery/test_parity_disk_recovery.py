@@ -1,0 +1,75 @@
+"""Parity-disk failure recovery — the situations Figures 3/4 omit.
+
+The paper enumerates *user data* disks as virtual failures; parity disks
+fail too, and the generators must handle them (the planner's
+``all_disk_schemes`` does).  These tests pin that path per family.
+"""
+
+import pytest
+
+from repro.codec import verify_scheme_on_random_data
+from repro.codes import (
+    BlaumRothCode,
+    EvenOddCode,
+    LiberationCode,
+    RdpCode,
+    StarCode,
+)
+from repro.recovery import c_scheme, khan_scheme, u_scheme
+
+FAMILIES = [
+    pytest.param(lambda: RdpCode(5), id="rdp"),
+    pytest.param(lambda: EvenOddCode(5), id="evenodd"),
+    pytest.param(lambda: BlaumRothCode(5), id="blaum-roth"),
+    pytest.param(lambda: LiberationCode(5), id="liberation"),
+    pytest.param(lambda: StarCode(5), id="star"),
+]
+
+
+@pytest.mark.parametrize("factory", FAMILIES)
+class TestParityDiskFailure:
+    def test_all_parity_disks_recover_byte_exact(self, factory):
+        code = factory()
+        for disk in code.layout.parity_disks:
+            for fn in (khan_scheme, c_scheme, u_scheme):
+                scheme = fn(code, disk, depth=1)
+                scheme.validate(code)
+                assert verify_scheme_on_random_data(code, scheme, seed=disk)
+
+    def test_ordering_invariants_hold(self, factory):
+        code = factory()
+        for disk in code.layout.parity_disks:
+            k = khan_scheme(code, disk, depth=1)
+            c = c_scheme(code, disk, depth=1)
+            u = u_scheme(code, disk, depth=1)
+            assert c.total_reads == k.total_reads
+            assert u.max_load <= c.max_load <= k.max_load
+
+    def test_row_parity_rebuild_parity_usage(self, factory):
+        """Rebuilding the row-parity disk: families whose diagonal
+        equations exclude the P column (EVENODD and relatives) never read
+        other parity disks; RDP's diagonals *include* P, so its minimum
+        read may legitimately lean on Q."""
+        code = factory()
+        lay = code.layout
+        p_disk = lay.n_data
+        p_mask = lay.disk_mask(p_disk)
+        scheme = khan_scheme(code, p_disk, depth=1)
+        other_parity = 0
+        for d in lay.parity_disks:
+            if d != p_disk:
+                other_parity |= lay.disk_mask(d)
+        diag_eqs = code.parity_equations()[lay.k_rows :]
+        diagonals_cover_p = any(eq & p_mask for eq in diag_eqs)
+        if not diagonals_cover_p:
+            assert scheme.read_mask & other_parity == 0
+        else:
+            assert code.name == "rdp"
+
+    def test_parity_recovery_cost_at_most_naive(self, factory):
+        """Khan on a parity disk reads at most what re-encoding would."""
+        code = factory()
+        lay = code.layout
+        for disk in lay.parity_disks:
+            scheme = khan_scheme(code, disk, depth=1)
+            assert scheme.total_reads <= lay.n_data_elements

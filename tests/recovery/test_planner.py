@@ -1,0 +1,87 @@
+"""Tests for the scheme planner / cache."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.recovery import RecoveryPlanner
+
+
+@pytest.fixture
+def code():
+    return RdpCode(5)
+
+
+class TestPlanner:
+    def test_caches_schemes(self, code):
+        planner = RecoveryPlanner(code, algorithm="u")
+        a = planner.scheme_for_disk(0)
+        b = planner.scheme_for_disk(0)
+        assert a is b
+
+    def test_all_data_disk_schemes(self, code):
+        planner = RecoveryPlanner(code, algorithm="khan")
+        schemes = planner.all_data_disk_schemes()
+        assert len(schemes) == code.layout.n_data
+        for d, s in enumerate(schemes):
+            assert s.failed_mask == code.layout.disk_mask(d)
+
+    def test_all_disk_schemes_includes_parity(self, code):
+        planner = RecoveryPlanner(code, algorithm="naive")
+        schemes = planner.all_disk_schemes()
+        assert len(schemes) == code.layout.n_disks
+
+    def test_unknown_algorithm(self, code):
+        with pytest.raises(ValueError):
+            RecoveryPlanner(code, algorithm="bogus")
+
+    def test_save_load_roundtrip(self, code, tmp_path):
+        planner = RecoveryPlanner(code, algorithm="c")
+        original = planner.all_data_disk_schemes()
+        path = tmp_path / "plans.json"
+        planner.save(path)
+
+        fresh = RecoveryPlanner(code, algorithm="c")
+        assert fresh.load(path) == len(original)
+        for d in code.layout.data_disks:
+            a, b = original[d], fresh.scheme_for_disk(d)
+            assert a.read_mask == b.read_mask
+            assert a.equations == b.equations
+
+    def test_load_rejects_algorithm_mismatch(self, code, tmp_path):
+        planner = RecoveryPlanner(code, algorithm="c")
+        planner.scheme_for_disk(0)
+        path = tmp_path / "plans.json"
+        planner.save(path)
+        other = RecoveryPlanner(code, algorithm="u")
+        with pytest.raises(ValueError, match="algorithm"):
+            other.load(path)
+
+    def test_parallel_generation_matches_sequential(self, code):
+        seq = RecoveryPlanner(code, algorithm="u", depth=1)
+        par = RecoveryPlanner(code, algorithm="u", depth=1)
+        a = seq.all_disk_schemes()
+        b = par.generate_all_parallel(workers=2)
+        assert [s.read_mask for s in a] == [s.read_mask for s in b]
+        assert [s.equations for s in a] == [s.equations for s in b]
+
+    def test_parallel_single_worker_fallback(self, code):
+        planner = RecoveryPlanner(code, algorithm="khan", depth=1)
+        schemes = planner.generate_all_parallel(workers=1, include_parity=False)
+        assert len(schemes) == code.layout.n_data
+
+    def test_parallel_worker_validation(self, code):
+        planner = RecoveryPlanner(code, algorithm="u")
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            planner.generate_all_parallel(workers=0)
+
+    def test_loaded_schemes_validate(self, code, tmp_path):
+        planner = RecoveryPlanner(code, algorithm="u")
+        planner.all_data_disk_schemes()
+        path = tmp_path / "plans.json"
+        planner.save(path)
+        fresh = RecoveryPlanner(code, algorithm="u")
+        fresh.load(path)
+        for d in code.layout.data_disks:
+            fresh.scheme_for_disk(d).validate(code)

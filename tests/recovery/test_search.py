@@ -1,0 +1,160 @@
+"""Tests for the unified UCS engine and cost functions."""
+
+import pytest
+
+from repro.codes import CodeLayout, RdpCode
+from repro.equations import get_recovery_equations
+from repro.equations.enumerate import EquationOption, RecoveryEquations
+from repro.recovery.search import (
+    SearchStats,
+    conditional_cost,
+    generate_scheme,
+    khan_cost,
+    unconditional_cost,
+    weighted_cost,
+)
+
+
+def tiny_problem():
+    """Two failed elements on a 4-disk, 2-row layout with hand-built options.
+
+    Slot 0: either read disk1 rows {0,1} (2 reads, concentrated) or read
+    disk1 row 0 + disk2 row 0 (2 reads, spread).
+    Slot 1: read disk3 row 1 (1 read).
+    The spread choice yields max load 1; the concentrated one max load 2;
+    both read 3 elements in total.
+    """
+    lay = CodeLayout(3, 1, 2)
+
+    def m(*pairs):
+        return lay.element_mask(pairs)
+
+    failed = lay.disk_mask(0)
+    # equations carry the failed bit; read mask excludes it
+    opt_a = EquationOption(m((1, 0), (1, 1)), m((0, 0), (1, 0), (1, 1)))
+    opt_b = EquationOption(m((1, 0), (2, 0)), m((0, 0), (1, 0), (2, 0)))
+    opt_c = EquationOption(m((3, 1)), m((0, 1), (3, 1)))
+    return lay, RecoveryEquations(
+        layout=lay,
+        failed_mask=failed,
+        failed_eids=[lay.eid(0, 0), lay.eid(0, 1)],
+        options=[[opt_a, opt_b], [opt_c]],
+        depth=1,
+    )
+
+
+class TestCostFunctions:
+    def test_khan_cost_counts_total(self):
+        lay = CodeLayout(2, 1, 2)
+        assert khan_cost(lay)(0b1011) == (3,)
+
+    def test_conditional_orders_total_first(self):
+        lay = CodeLayout(2, 1, 2)
+        key = conditional_cost(lay)
+        assert key(lay.disk_mask(0)) == (2, 2)
+
+    def test_unconditional_orders_maxload_first(self):
+        lay = CodeLayout(2, 1, 2)
+        key = unconditional_cost(lay)
+        assert key(lay.disk_mask(0)) == (2, 2)
+        spread = lay.element_mask([(0, 0), (1, 0)])
+        assert key(spread) == (1, 2)
+
+    def test_weighted_cost_validates_length(self):
+        lay = CodeLayout(2, 1, 2)
+        with pytest.raises(ValueError):
+            weighted_cost(lay, [1.0])
+
+    def test_weighted_cost_scales(self):
+        lay = CodeLayout(2, 1, 2)  # 3 disks total
+        key = weighted_cost(lay, [1.0, 5.0, 1.0])
+        mask = lay.element_mask([(1, 0)])
+        assert key(mask) == (5.0, 5.0)
+
+
+class TestEngine:
+    def test_khan_picks_min_total(self):
+        lay, rec = tiny_problem()
+        s = generate_scheme(rec, khan_cost(lay), "khan")
+        assert s.total_reads == 3
+
+    def test_unconditional_prefers_spread(self):
+        lay, rec = tiny_problem()
+        s = generate_scheme(rec, unconditional_cost(lay), "u")
+        assert s.max_load == 1
+        assert s.loads == [0, 1, 1, 1]
+
+    def test_conditional_total_equals_khan(self):
+        lay, rec = tiny_problem()
+        k = generate_scheme(rec, khan_cost(lay), "khan")
+        c = generate_scheme(rec, conditional_cost(lay), "c")
+        assert c.total_reads == k.total_reads
+        assert c.max_load <= k.max_load
+
+    def test_missing_options_raises(self):
+        lay, rec = tiny_problem()
+        rec.options[1] = []
+        with pytest.raises(ValueError, match="no recovery equations"):
+            generate_scheme(rec, khan_cost(lay), "khan")
+
+    def test_stats_recorded_on_scheme(self):
+        lay, rec = tiny_problem()
+        s = generate_scheme(rec, khan_cost(lay), "khan")
+        assert s.expanded_states >= 1
+        assert s.exact
+
+    def test_budget_triggers_greedy_completion(self):
+        code = RdpCode(7)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        s = generate_scheme(rec, khan_cost(code.layout), "khan", max_expansions=2)
+        assert not s.exact
+        assert len(s.equations) == rec.n_failed
+        s.validate(code)
+
+    def test_budget_greedy_not_far_from_exact(self):
+        code = RdpCode(7)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        exact = generate_scheme(rec, khan_cost(code.layout), "khan")
+        budgeted = generate_scheme(
+            rec, khan_cost(code.layout), "khan", max_expansions=5
+        )
+        assert budgeted.total_reads <= exact.total_reads * 2
+
+    def test_dominance_pruning_preserves_optimality(self):
+        code = RdpCode(7)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        plain = generate_scheme(rec, conditional_cost(code.layout), "c")
+        pruned = generate_scheme(
+            rec, conditional_cost(code.layout), "c", dominance_limit=256
+        )
+        assert (plain.total_reads, plain.max_load) == (
+            pruned.total_reads,
+            pruned.max_load,
+        )
+
+    def test_lexicographic_optimality_vs_bruteforce(self):
+        """Exhaustively enumerate all option combinations on a small code and
+        confirm UCS returns the lexicographic optimum for each cost."""
+        import itertools
+
+        code = RdpCode(5)
+        lay = code.layout
+        rec = get_recovery_equations(code, lay.disk_mask(0), depth=1)
+        combos = itertools.product(*rec.options)
+        best_khan = None
+        best_c = None
+        best_u = None
+        for combo in combos:
+            mask = 0
+            for opt in combo:
+                mask |= opt.read_mask
+            total, maxl = mask.bit_count(), lay.max_load(mask)
+            best_khan = min(best_khan, (total,)) if best_khan else (total,)
+            best_c = min(best_c, (total, maxl)) if best_c else (total, maxl)
+            best_u = min(best_u, (maxl, total)) if best_u else (maxl, total)
+        k = generate_scheme(rec, khan_cost(lay), "khan")
+        c = generate_scheme(rec, conditional_cost(lay), "c")
+        u = generate_scheme(rec, unconditional_cost(lay), "u")
+        assert (k.total_reads,) == best_khan
+        assert (c.total_reads, c.max_load) == best_c
+        assert (u.max_load, u.total_reads) == best_u

@@ -1,0 +1,71 @@
+"""Tests for scheme statistics."""
+
+import pytest
+
+from repro.codes import RdpCode
+from repro.recovery import khan_scheme, naive_scheme, u_scheme
+from repro.recovery.stats import compare_stats, scheme_stats
+
+
+@pytest.fixture(scope="module")
+def rdp7():
+    return RdpCode(7)
+
+
+class TestSchemeStats:
+    def test_naive_has_no_overlap(self, rdp7):
+        """The naive scheme uses each element exactly once."""
+        s = scheme_stats(naive_scheme(rdp7, 0))
+        assert s.overlap_factor == pytest.approx(1.0)
+        assert s.reused_elements == 0
+
+    def test_optimized_scheme_reuses_reads(self, rdp7):
+        """The 25% saving comes from reading overlapping elements once and
+        using them twice (Sec. II-B)."""
+        s = scheme_stats(khan_scheme(rdp7, 0, depth=1))
+        assert s.overlap_factor > 1.0
+        assert s.reused_elements > 0
+
+    def test_totals_match_scheme(self, rdp7):
+        scheme = u_scheme(rdp7, 0, depth=1)
+        s = scheme_stats(scheme)
+        assert s.total_reads == scheme.total_reads
+        assert s.max_load == scheme.max_load
+
+    def test_naive_leaves_diagonal_parity_idle(self, rdp7):
+        s = scheme_stats(naive_scheme(rdp7, 0))
+        assert s.idle_disks == 1  # the untouched Q disk
+
+    def test_balanced_scheme_uses_all_disks(self, rdp7):
+        s = scheme_stats(u_scheme(rdp7, 0, depth=1))
+        assert s.idle_disks == 0
+
+    def test_touch_conservation(self, rdp7):
+        """touches == sum of per-element counts >= unique reads."""
+        s = scheme_stats(khan_scheme(rdp7, 0, depth=1))
+        assert s.support_touches >= s.total_reads
+        assert s.support_touches == pytest.approx(
+            s.overlap_factor * s.total_reads
+        )
+
+    def test_failed_reuse_counts_iteration(self):
+        """Schemes using earlier-recovered elements report failed_reuse."""
+        from repro.codes import CauchyRSCode
+        from repro.recovery import u_scheme as u
+
+        code = CauchyRSCode(4, 2, w=4)
+        stats = [scheme_stats(u(code, d, depth=1)) for d in range(4)]
+        assert any(s.failed_reuse > 0 for s in stats)
+
+
+class TestCompareTable:
+    def test_table_contains_all_schemes(self, rdp7):
+        table = compare_stats(
+            {
+                "naive": naive_scheme(rdp7, 0),
+                "khan": khan_scheme(rdp7, 0, depth=1),
+                "u": u_scheme(rdp7, 0, depth=1),
+            }
+        )
+        assert "naive" in table and "khan" in table and "u" in table
+        assert "overlap" in table

@@ -1,0 +1,56 @@
+"""Shared hypothesis strategies for the test-suite."""
+
+from hypothesis import strategies as st
+
+from repro.codes import (
+    BlaumRothCode,
+    CauchyRSCode,
+    EvenOddCode,
+    Liber8tionCode,
+    LiberationCode,
+    Raid4Code,
+    RdpCode,
+    StarCode,
+)
+
+#: small instances of every family (cheap enough for property tests)
+small_codes = st.sampled_from(
+    [
+        Raid4Code(4, 3),
+        RdpCode(5),
+        RdpCode(7),
+        RdpCode(7, n_data=4),
+        EvenOddCode(5),
+        EvenOddCode(7, n_data=4),
+        BlaumRothCode(5),
+        BlaumRothCode(7, n_data=5),
+        LiberationCode(5),
+        LiberationCode(7, n_data=5),
+        Liber8tionCode(5),
+        StarCode(5),
+        StarCode(7, n_data=4),
+        CauchyRSCode(4, 2, w=4),
+        CauchyRSCode(4, 3, w=4),
+    ]
+)
+
+#: RAID-6 instances only (m = 2)
+raid6_codes = st.sampled_from(
+    [RdpCode(5), EvenOddCode(5), BlaumRothCode(5), LiberationCode(5)]
+)
+
+
+@st.composite
+def code_and_data_disk(draw, codes=small_codes):
+    """A code together with a valid data-disk index."""
+    code = draw(codes)
+    disk = draw(st.integers(0, code.layout.n_data - 1))
+    return code, disk
+
+
+@st.composite
+def code_and_any_disk(draw, codes=small_codes):
+    """A code together with any disk index (parity included)."""
+    code = draw(codes)
+    disk = draw(st.integers(0, code.layout.n_disks - 1))
+    return code, disk

@@ -1,0 +1,88 @@
+"""Tests for the repro-recovery CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scheme", "--family", "nope"])
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "rdp" in out and "star" in out
+
+    def test_scheme_renders(self, capsys):
+        assert main(["scheme", "--family", "rdp", "--disks", "7",
+                     "--algorithm", "u"]) == 0
+        out = capsys.readouterr().out
+        assert "u-scheme" in out
+        assert "X" in out  # failed markers in the stripe picture
+
+    def test_naive_scheme(self, capsys):
+        assert main(["scheme", "--family", "evenodd", "--disks", "7",
+                     "--algorithm", "naive"]) == 0
+        assert "naive-scheme" in capsys.readouterr().out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--family", "rdp", "--disks", "7"]) == 0
+        assert "byte-exact" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--family", "rdp", "--disks", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "MB/s" in out
+        assert "khan" in out
+
+    def test_figure3_small_range(self, capsys, tmp_path):
+        assert main(["figure3", "--family", "evenodd", "--min-disks", "7",
+                     "--max-disks", "8", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "khan" in out
+
+    def test_figure4_small_range(self, capsys, tmp_path):
+        assert main(["figure4", "--family", "rdp", "--min-disks", "7",
+                     "--max-disks", "8", "--cache-dir", str(tmp_path)]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure3_with_plot(self, capsys, tmp_path):
+        assert main(["figure3", "--family", "rdp", "--min-disks", "7",
+                     "--max-disks", "8", "--cache-dir", str(tmp_path),
+                     "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=khan" in out  # the ASCII chart legend
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--family", "rdp", "--disks", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap" in out and "naive" in out
+
+    def test_degraded(self, capsys):
+        assert main(["degraded", "--family", "rdp", "--disks", "8",
+                     "--failed-disk", "0", "--rows", "1,3"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded read of rows [1, 3]" in out
+        assert "X" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--family", "star", "--disks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "fault tolerance=3" in out
+
+    def test_report_small(self, capsys, tmp_path):
+        out_file = tmp_path / "r.md"
+        assert main(["report", "--min-disks", "7", "--max-disks", "7",
+                     "--cache-dir", str(tmp_path), "--no-reliability",
+                     "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        text = out_file.read_text()
+        assert "Reproduction report" in text
