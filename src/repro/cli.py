@@ -63,6 +63,15 @@ def _cmd_scheme(args) -> int:
     )
     print(code.describe())
     print(scheme.summary())
+    stats = scheme.search_stats
+    if stats:
+        print(
+            f"search: expanded={stats['expanded']} pushed={stats['pushed']} "
+            f"pruned_closed={stats['pruned_closed']} "
+            f"pruned_dominated={stats['pruned_dominated']} "
+            f"peak_frontier={stats['peak_frontier']} "
+            f"wall={stats['wall_time_s'] * 1e3:.2f}ms"
+        )
     print(scheme.render())
     return 0
 

@@ -2,9 +2,11 @@
 
 Recovering a whole disk means executing the same scheme on thousands of
 stripes.  Per-stripe Python dispatch wastes the interpreter; this module
-stacks the stripes into one 3-D array and performs each equation's XOR
-reduction across *all* stripes with a single ``np.bitwise_xor.reduce``
-call — the classic "vectorize the outer loop" move for numpy throughput.
+stacks the stripes into one 3-D array and XORs each equation's sources
+across *all* stripes at once.  Sources are folded into a preallocated
+accumulator with ``np.bitwise_xor(..., out=...)`` — each source slice is a
+view, so no ``(n_stripes, n_sources, element_size)`` temporary is ever
+materialized.
 """
 
 from __future__ import annotations
@@ -42,9 +44,7 @@ class BatchReconstructor:
                     recovered_refs.append(eid)
                 else:
                     surviving.append(eid)
-            self._plan.append(
-                (f, np.asarray(surviving, dtype=np.int64), recovered_refs)
-            )
+            self._plan.append((f, surviving, recovered_refs))
 
     def recover_batch(self, stripes: np.ndarray) -> Dict[int, np.ndarray]:
         """Rebuild the failed elements of every stripe in the batch.
@@ -69,13 +69,17 @@ class BatchReconstructor:
                 f"{self.scheme.layout.n_elements}"
             )
         out: Dict[int, np.ndarray] = {}
+        acc_shape = (stripes.shape[0], stripes.shape[2])
         for f, surviving, recovered_refs in self._plan:
-            if surviving.size:
-                acc = np.bitwise_xor.reduce(stripes[:, surviving, :], axis=1)
+            # fold sources into the slot's accumulator in place; each
+            # stripes[:, eid, :] is a view, so the only allocation per
+            # failed element is its output buffer
+            if surviving:
+                acc = stripes[:, surviving[0], :].copy()
+                for eid in surviving[1:]:
+                    np.bitwise_xor(acc, stripes[:, eid, :], out=acc)
             else:
-                acc = np.zeros(
-                    (stripes.shape[0], stripes.shape[2]), dtype=np.uint8
-                )
+                acc = np.zeros(acc_shape, dtype=stripes.dtype)
             for eid in recovered_refs:
                 np.bitwise_xor(acc, out[eid], out=acc)
             out[f] = acc

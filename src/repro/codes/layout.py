@@ -153,6 +153,26 @@ class CodeLayout:
                 best = c
         return best
 
+    def disk_entries(self, mask: int) -> Tuple[Tuple[int, int], ...]:
+        """Per-disk decomposition of a mask: ``((disk, submask), ...)``.
+
+        Only disks the mask touches appear; each ``submask`` keeps its bits
+        at their global element positions, so intersecting it with another
+        mask needs no shifting.  This is the precomputation behind the
+        search engine's incremental load vectors: an equation's read set is
+        decomposed once, and every state extension only looks at the disks
+        the equation actually touches.
+        """
+        k = self.k_rows
+        entries = []
+        while mask:
+            low = mask & -mask
+            d = (low.bit_length() - 1) // k
+            dmask = mask & (((1 << k) - 1) << (d * k))
+            entries.append((d, dmask))
+            mask ^= dmask
+        return tuple(entries)
+
     def max_weighted_load(self, mask: int, weights: Sequence[float]) -> float:
         """Max per-disk load scaled by per-disk read costs (heterogeneous)."""
         k = self.k_rows

@@ -10,6 +10,7 @@ already-recovered failed elements.
 from repro.equations.calc import combination_closure, equation_space_size
 from repro.equations.enumerate import (
     RecoveryEquations,
+    clear_enumeration_caches,
     exhaustive_recovery_equations,
     gaussian_recovery_equations,
     get_recovery_equations,
@@ -17,6 +18,7 @@ from repro.equations.enumerate import (
 
 __all__ = [
     "RecoveryEquations",
+    "clear_enumeration_caches",
     "combination_closure",
     "equation_space_size",
     "exhaustive_recovery_equations",

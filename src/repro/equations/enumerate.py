@@ -11,10 +11,27 @@ With failed elements processed in ascending element-id order ("sorted from
 top to bottom in a stripe", paper Sec. V-A), an equation whose failed support
 is ``{f_a, f_b, ...}`` is usable exactly when recovering its highest-labelled
 member — so every combination equation is assigned to exactly one slot.
+
+Preprocessing applied to every slot's candidate list:
+
+* equations with identical surviving support collapse to one;
+* dominated equations (surviving support a strict superset of another
+  equation recovering the same element) are dropped — they can never beat
+  the subset on either total reads or per-disk load;
+* survivors are sorted by ``(support size, max disk touch)`` so the search
+  pushes cheap, balanced extensions first and the first goal pops earlier.
+
+Both the XOR-combination closure and the finished per-failure enumeration
+are memoized (the closure per parity-equation set and depth, the enumeration
+additionally per failed set), so repeated scheme generation — the planner's
+per-disk fan-out, benchmark sweeps, all three algorithms on one failure —
+derives each closure once per process.  Callers receive fresh copies and may
+mutate them freely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,14 +96,89 @@ class RecoveryEquations:
             recovered |= fbit
 
 
-def _dedupe_and_prune(raw: Dict[int, int]) -> List[EquationOption]:
-    """Collapse options by read mask and drop dominated (superset) reads."""
-    ordered = sorted(raw.items(), key=lambda kv: (kv[0].bit_count(), kv[0]))
+def _dedupe_and_prune(
+    raw: Dict[int, int], layout: Optional[CodeLayout] = None
+) -> List[EquationOption]:
+    """Collapse options by read mask and drop dominated (superset) reads.
+
+    Candidates are processed in ascending support size, so any strict
+    superset meets its dominating subset already-kept; the kept masks are
+    bucketed by popcount because a strict subset necessarily has strictly
+    fewer bits — buckets at or above the candidate's popcount are skipped.
+    Survivors come out sorted by ``(support size, max disk touch)``:
+    cheapest and most spread-out reads first.
+    """
+    if layout is not None:
+        sort_key = lambda kv: (kv[0].bit_count(), layout.max_load(kv[0]), kv[0])
+    else:
+        sort_key = lambda kv: (kv[0].bit_count(), kv[0])
+    ordered = sorted(raw.items(), key=sort_key)
     kept: List[EquationOption] = []
+    kept_by_pc: Dict[int, List[int]] = {}
     for read_mask, equation in ordered:
-        if not any(k.read_mask & read_mask == k.read_mask for k in kept):
+        pc = read_mask.bit_count()
+        dominated = False
+        for p, masks in kept_by_pc.items():
+            if p >= pc:
+                continue
+            if any(m & read_mask == m for m in masks):
+                dominated = True
+                break
+        if not dominated:
             kept.append(EquationOption(read_mask, equation))
+            kept_by_pc.setdefault(pc, []).append(read_mask)
     return kept
+
+
+# ----------------------------------------------------------------------
+# memoization
+# ----------------------------------------------------------------------
+_CLOSURE_CACHE: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+_CLOSURE_CACHE_MAX = 32
+
+_ENUM_CACHE: "OrderedDict[Tuple, RecoveryEquations]" = OrderedDict()
+_ENUM_CACHE_MAX = 256
+
+
+def clear_enumeration_caches() -> None:
+    """Drop the memoized closures and enumerations (tests, benchmarks)."""
+    _CLOSURE_CACHE.clear()
+    _ENUM_CACHE.clear()
+
+
+def _cached_closure(equations: Tuple[int, ...], depth: int) -> List[int]:
+    """The XOR-combination closure as a list, memoized per (equations, depth).
+
+    The closure depends only on the parity equations and the depth — not on
+    the failed set — so one derivation serves every disk of a code and all
+    three generator algorithms.
+    """
+    key = (equations, depth)
+    cached = _CLOSURE_CACHE.get(key)
+    if cached is not None:
+        _CLOSURE_CACHE.move_to_end(key)
+        return cached
+    closure = list(combination_closure(equations, depth))
+    _CLOSURE_CACHE[key] = closure
+    while len(_CLOSURE_CACHE) > _CLOSURE_CACHE_MAX:
+        _CLOSURE_CACHE.popitem(last=False)
+    return closure
+
+
+def _copy_rec_eqs(master: RecoveryEquations) -> RecoveryEquations:
+    """A caller-mutable copy of a memoized enumeration.
+
+    Outer and inner option lists are fresh (callers rotate, filter and
+    replace them); the :class:`EquationOption` entries are frozen and safely
+    shared.
+    """
+    return RecoveryEquations(
+        layout=master.layout,
+        failed_mask=master.failed_mask,
+        failed_eids=list(master.failed_eids),
+        options=[list(opts) for opts in master.options],
+        depth=master.depth,
+    )
 
 
 def gaussian_recovery_equations(
@@ -161,15 +253,35 @@ def get_recovery_equations(
         (:func:`gaussian_recovery_equations`) to any slot the bounded-depth
         enumeration left empty, so every *recoverable* failure gets a
         complete option set regardless of depth.
+
+    The result is memoized per (parity equations, layout, failed set,
+    depth, caps); hits return a fresh copy so callers may mutate options
+    in place (degraded reads, escalation, greedy restarts all do).
     """
     lay = code.layout
+    parity_eqs = tuple(code.parity_equations())
+    cache_key = (
+        parity_eqs,
+        lay.n_data,
+        lay.m_parity,
+        lay.k_rows,
+        failed_mask,
+        depth,
+        max_options_per_element,
+        ensure_complete,
+    )
+    cached = _ENUM_CACHE.get(cache_key)
+    if cached is not None:
+        _ENUM_CACHE.move_to_end(cache_key)
+        return _copy_rec_eqs(cached)
+
     failed_eids = sorted(
         d * lay.k_rows + r for d, r in lay.iter_elements(failed_mask)
     )
     slot_of = {f: i for i, f in enumerate(failed_eids)}
     per_slot: List[Dict[int, int]] = [dict() for _ in failed_eids]
 
-    for eq in combination_closure(code.parity_equations(), depth):
+    for eq in _cached_closure(parity_eqs, depth):
         fs = eq & failed_mask
         if not fs:
             continue
@@ -180,7 +292,7 @@ def get_recovery_equations(
         prev = bucket.get(read_mask)
         if prev is None:
             bucket[read_mask] = eq
-    options = [_dedupe_and_prune(bucket) for bucket in per_slot]
+    options = [_dedupe_and_prune(bucket, lay) for bucket in per_slot]
     if max_options_per_element is not None:
         options = [opts[:max_options_per_element] for opts in options]
     if ensure_complete and any(not opts for opts in options):
@@ -189,13 +301,17 @@ def get_recovery_equations(
             if not opts and fallback[i] is not None:
                 eq = fallback[i]
                 options[i] = [EquationOption(eq & ~failed_mask, eq)]
-    return RecoveryEquations(
+    master = RecoveryEquations(
         layout=lay,
         failed_mask=failed_mask,
         failed_eids=failed_eids,
         options=options,
         depth=depth,
     )
+    _ENUM_CACHE[cache_key] = master
+    while len(_ENUM_CACHE) > _ENUM_CACHE_MAX:
+        _ENUM_CACHE.popitem(last=False)
+    return _copy_rec_eqs(master)
 
 
 def exhaustive_recovery_equations(
@@ -231,7 +347,7 @@ def exhaustive_recovery_equations(
         slot = slot_of[fs.bit_length() - 1]
         read_mask = acc & ~failed_mask
         per_slot[slot].setdefault(read_mask, acc)
-    options = [_dedupe_and_prune(bucket) for bucket in per_slot]
+    options = [_dedupe_and_prune(bucket, lay) for bucket in per_slot]
     return RecoveryEquations(
         layout=lay,
         failed_mask=failed_mask,

@@ -1,0 +1,162 @@
+"""On-demand compiled UCS kernel with a silent pure-Python fallback.
+
+The integer-key cost models (Khan / C / U) spend their time in a tight
+pop-push loop whose per-state work is a handful of word operations — exactly
+the regime where the CPython interpreter's ~µs dispatch overhead dominates.
+This module compiles ``_ucs.c`` (a line-for-line mirror of the engine loop
+in :mod:`repro.recovery.search`) with the system C compiler the first time
+it is needed, caches the shared object under ``$XDG_CACHE_HOME/repro-ckernel``
+keyed by a hash of the source, and exposes it through :mod:`ctypes`.
+
+There is no build step and no third-party dependency: if no compiler is
+present (or ``REPRO_PURE_PYTHON`` is set), :func:`load` returns ``None``
+and the search runs on the pure-Python engine with identical results —
+the kernel replicates pop order exactly (heap entries are unique
+``(key, state id)`` pairs, a total order), so schemes are byte-identical
+either way.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_SRC = Path(__file__).with_name("_ucs.c")
+_WORDS = 8  # must match W in _ucs.c
+_WORD_MASK = (1 << 64) - 1
+MAX_ELEMENTS = _WORDS * 64
+
+#: cost-model kind codes understood by the kernel
+KIND_KHAN, KIND_CONDITIONAL, KIND_UNCONDITIONAL = 0, 1, 2
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+class _Stats(ctypes.Structure):
+    _fields_ = [
+        ("expanded", ctypes.c_uint64),
+        ("pushed", ctypes.c_uint64),
+        ("pruned_closed", ctypes.c_uint64),
+        ("peak_frontier", ctypes.c_uint64),
+        ("status", ctypes.c_int32),
+    ]
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(root) / "repro-ckernel"
+
+
+def _compile(src: Path, out: Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(f"{out.stem}.{os.getpid()}.tmp")
+    cc = os.environ.get("CC", "cc")
+    subprocess.run(
+        [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    os.replace(tmp, out)  # atomic: concurrent compiles race benignly
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled kernel, or ``None`` when unavailable (pure-Python mode)."""
+    global _lib, _load_attempted
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        return None
+    try:
+        source = _SRC.read_bytes()
+        tag = hashlib.sha256(source).hexdigest()[:16]
+        so = _cache_dir() / f"ucs_{tag}.so"
+        if not so.exists():
+            _compile(_SRC, so)
+        lib = ctypes.CDLL(str(so))
+        lib.ucs_search.restype = ctypes.c_int64
+        lib.ucs_search.argtypes = [
+            ctypes.c_int32,                    # n_slots
+            ctypes.POINTER(ctypes.c_int64),    # opt_off
+            ctypes.POINTER(ctypes.c_uint64),   # opt_masks
+            ctypes.c_int32,                    # n_disks
+            ctypes.c_int32,                    # k_rows
+            ctypes.c_int32,                    # kind
+            ctypes.c_uint64,                   # max_expansions
+            ctypes.POINTER(ctypes.c_int32),    # out_chain
+            ctypes.POINTER(ctypes.c_uint64),   # out_mask
+            ctypes.POINTER(_Stats),            # stats
+        ]
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def run(
+    slot_opts: Sequence[Sequence[Tuple[int, int]]],
+    n_disks: int,
+    k_rows: int,
+    kind: int,
+    max_expansions: Optional[int],
+) -> Optional[Tuple[List[int], Dict[str, int]]]:
+    """Run the kernel; ``None`` means "use the pure-Python engine".
+
+    ``slot_opts`` is the engine's per-slot list of (read_mask, equation)
+    pairs.  Returns the chosen option index per slot plus the kernel's
+    effort counters.  Falls back (returns ``None``) when the kernel is
+    unavailable, the geometry exceeds the fixed 512-bit mask width, or the
+    expansion budget was exhausted (the Python engine owns the greedy
+    completion path).
+    """
+    lib = load()
+    if lib is None:
+        return None
+    n_slots = len(slot_opts)
+    if n_slots == 0 or n_slots >= 0xFFFF or n_disks * k_rows > MAX_ELEMENTS:
+        return None
+
+    offs = [0]
+    rows: List[int] = []
+    for opts in slot_opts:
+        rows.extend(rm for rm, _eq in opts)
+        offs.append(len(rows))
+    opt_off = (ctypes.c_int64 * (n_slots + 1))(*offs)
+    opt_masks = (ctypes.c_uint64 * (len(rows) * _WORDS))()
+    i = 0
+    for rm in rows:
+        while rm:
+            opt_masks[i] = rm & _WORD_MASK
+            rm >>= 64
+            i += 1
+        i = (i + _WORDS - 1) // _WORDS * _WORDS
+
+    chain = (ctypes.c_int32 * n_slots)()
+    goal_mask = (ctypes.c_uint64 * _WORDS)()
+    stats = _Stats()
+    rc = lib.ucs_search(
+        n_slots, opt_off, opt_masks, n_disks, k_rows, kind,
+        ctypes.c_uint64(max_expansions or 0), chain, goal_mask,
+        ctypes.byref(stats),
+    )
+    if rc != 0 or stats.status != 0:
+        return None
+    counters = {
+        "expanded": stats.expanded,
+        "pushed": stats.pushed,
+        "pruned_closed": stats.pruned_closed,
+        "peak_frontier": stats.peak_frontier,
+    }
+    return list(chain), counters

@@ -26,12 +26,26 @@ from repro.recovery.scheme import RecoveryScheme
 from repro.recovery.ualgorithm import u_scheme
 
 
-def _generate_one(args) -> "RecoveryScheme":
+#: per-process worker planner, built once by the pool initializer
+_WORKER_PLANNER: Optional["RecoveryPlanner"] = None
+
+
+def _init_worker(code, algorithm, depth, max_expansions) -> None:
+    """Pool initializer: build the worker's planner once per process.
+
+    The code object is pickled to each worker a single time here instead of
+    once per disk, and the worker-local planner keeps the enumeration
+    caches warm across the disks it handles (the combination closure only
+    depends on the code and depth, not the failed disk).
+    """
+    global _WORKER_PLANNER
+    _WORKER_PLANNER = RecoveryPlanner(code, algorithm, depth, max_expansions)
+
+
+def _generate_one(disk: int) -> "RecoveryScheme":
     """Process-pool worker: generate one disk's scheme (top-level so it
     pickles)."""
-    code, algorithm, depth, max_expansions, disk = args
-    planner = RecoveryPlanner(code, algorithm, depth, max_expansions)
-    return planner._generate(disk)
+    return _WORKER_PLANNER._generate(disk)
 
 
 class RecoveryPlanner:
@@ -100,12 +114,15 @@ class RecoveryPlanner:
                 for d in todo:
                     self._cache[d] = self._generate(d)
             else:
-                jobs = [
-                    (self.code, self.algorithm, self.depth, self.max_expansions, d)
-                    for d in todo
-                ]
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for d, scheme in zip(todo, pool.map(_generate_one, jobs)):
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.code, self.algorithm, self.depth,
+                        self.max_expansions,
+                    ),
+                ) as pool:
+                    for d, scheme in zip(todo, pool.map(_generate_one, todo)):
                         self._cache[d] = scheme
         return [self._cache[d] for d in disks]
 
@@ -126,6 +143,7 @@ class RecoveryPlanner:
                     "read_mask": s.read_mask,
                     "exact": s.exact,
                     "expanded_states": s.expanded_states,
+                    "metadata": s.metadata,
                 }
                 for disk, s in self._cache.items()
             },
@@ -150,6 +168,7 @@ class RecoveryPlanner:
                 algorithm=self.algorithm,
                 exact=raw["exact"],
                 expanded_states=raw["expanded_states"],
+                metadata=raw.get("metadata", {}),
             )
             self._cache[int(disk_str)] = scheme
         return len(payload["schemes"])

@@ -9,7 +9,7 @@ lives in :mod:`repro.codec.reconstructor`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.codes.base import ErasureCode
 from repro.codes.layout import CodeLayout
@@ -36,6 +36,10 @@ class RecoveryScheme:
         the scheme is still valid, just not certifiably optimal.
     expanded_states:
         Search effort indicator (states popped from the frontier).
+    metadata:
+        Free-form, JSON-serialisable annotations.  The search engine stores
+        its :class:`~repro.recovery.search.SearchStats` record under
+        ``metadata["search_stats"]``.
     """
 
     layout: CodeLayout
@@ -46,6 +50,12 @@ class RecoveryScheme:
     algorithm: str = "unknown"
     exact: bool = True
     expanded_states: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def search_stats(self) -> Optional[Dict[str, Any]]:
+        """The generating search's effort record, if one was attached."""
+        return self.metadata.get("search_stats")
 
     # ------------------------------------------------------------------
     # metrics

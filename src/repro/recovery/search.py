@@ -20,6 +20,25 @@ the algorithm's answer.  The U-Algorithm's bucketed ``rec_list[r]`` traversal
 (paper Algorithm 1 + the Sec. IV-B tie-break revision) is exactly UCS on
 ``(max_load, total)`` — a binary heap replaces the explicit sublists.
 
+Cost evaluation is *incremental*: every cost key is a :class:`CostModel`
+carrying a per-state summary (total reads, per-disk load vector packed into
+one integer, running max) and folding in only the bits an equation *newly*
+contributes — ``O(new elements)`` per successor via a precomputed
+element-to-disk shift table, instead of the former ``O(n_disks)``
+re-popcount of every k-bit disk window of the whole mask.  Integer-valued
+models additionally pack their lexicographic key into a single int
+(``total << b | max_load``), which makes heap comparisons and closed-set
+lookups cheap.  Plain callables are still accepted as cost functions and run
+on a generic (slower) evaluation path.
+
+Termination uses an *early-goal cutoff*: the engine tracks the best
+``(key, push order)`` goal state pushed so far and stops as soon as no
+frontier state has a strictly smaller key.  This returns the **same scheme**
+UCS would return by popping the goal — every state that could still lead to
+a better or earlier-pushed goal has been expanded — while skipping the
+expansion of the optimal-cost plateau behind it, which for tie-rich keys
+(Khan totals, U max-loads) is a large fraction of the graph.
+
 Pruning (the paper keeps Khan's pruning and adds none):
 
 * *closed set* — a ``read_mask`` revisited at the same slot with a key no
@@ -27,121 +46,344 @@ Pruning (the paper keeps Khan's pruning and adds none):
 * *subset dominance* — a state whose read set is a superset of a
   same-or-better state at the same slot can never win, because every
   completion of the superset is matched by a no-worse completion of the
-  subset (costs are monotone in set inclusion);
+  subset (costs are monotone in set inclusion).  The store is bucketed by
+  mask popcount: only masks with strictly fewer elements can be strict
+  subsets, so a membership probe skips every bucket that cannot dominate;
 * *state budget* — the problem is NP-hard (Sec. II-B); an optional budget
   bounds worst-case blowup.  When exhausted, the best frontier state is
   completed greedily and the scheme is flagged ``exact=False``.
+
+Search effort is recorded in a :class:`SearchStats` attached to every
+returned scheme's ``metadata["search_stats"]`` — expansions, pushes, prune
+counters, peak frontier size and wall time — so performance work measures
+instead of guessing (``benchmarks/bench_search_perf.py`` tracks the numbers
+over time; see docs/performance.md).
 """
 
 from __future__ import annotations
 
-import bisect
-import heapq
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from bisect import bisect_right
+from dataclasses import asdict, dataclass
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.codes.layout import CodeLayout
 from repro.equations.enumerate import RecoveryEquations
+from repro.recovery import ckernel
 from repro.recovery.scheme import RecoveryScheme
 
 #: a cost key: maps a read mask to a lexicographic tuple (monotone in mask)
 CostFn = Callable[[int], Tuple]
 
 
-def khan_cost(layout: CodeLayout) -> CostFn:
-    """Minimize total read volume only (ties broken by pop order)."""
+class CostModel:
+    """A monotone cost key with incremental evaluation.
 
-    def key(mask: int) -> Tuple:
-        return (mask.bit_count(),)
+    Subclasses define three hooks the engine drives:
 
-    return key
+    * :meth:`initial` — the summary state and internal key of the empty
+      read set;
+    * :meth:`extend` — fold newly read bits (``add``, disjoint from the
+      current mask; ``new_mask`` is the resulting union) into a summary
+      state, returning the successor state and its internal key;
+    * :meth:`key_of_mask` — the *public* lexicographic key of an arbitrary
+      mask, used by the budget-exhausted greedy completion and for backward
+      compatibility (instances are callable, like the plain cost functions
+      they replaced).
+
+    Internal keys need not be tuples — they only need a total order
+    consistent with :meth:`key_of_mask`; the integer models pack both
+    lexicographic coordinates into one int.  ``total_only`` marks models
+    whose key is exactly the read total; the engine folds those inline
+    (one popcount per successor, no method call).
+    """
+
+    total_only = False
+
+    def __call__(self, mask: int) -> Tuple:
+        return self.key_of_mask(mask)
+
+    def key_of_mask(self, mask: int) -> Tuple:
+        raise NotImplementedError
+
+    def initial(self) -> Tuple[object, object]:
+        raise NotImplementedError
+
+    def extend(self, state, add: int, new_mask: int) -> Tuple[object, object]:
+        raise NotImplementedError
 
 
-def conditional_cost(layout: CodeLayout) -> CostFn:
-    """Minimal total read first, then minimal max per-disk load."""
+def _window_tables(layout: CodeLayout) -> Tuple[List[int], List[int]]:
+    """Per-element (disk window, complement) masks at global positions.
 
-    def key(mask: int) -> Tuple:
-        return (mask.bit_count(), layout.max_load(mask))
-
-    return key
-
-
-def unconditional_cost(layout: CodeLayout) -> CostFn:
-    """Minimal max per-disk load first, then minimal total read."""
-
-    def key(mask: int) -> Tuple:
-        return (layout.max_load(mask), mask.bit_count())
-
-    return key
-
-
-def weighted_cost(layout: CodeLayout, weights: Sequence[float]) -> CostFn:
-    """Heterogeneous U-Algorithm: per-disk read costs (Sec. V-D)."""
-    if len(weights) != layout.n_disks:
-        raise ValueError(
-            f"need {layout.n_disks} weights, got {len(weights)}"
-        )
+    ``win[eid]`` covers every element of ``eid``'s disk, so the disk's load
+    in a mask is ``(mask & win[eid]).bit_count()`` — no shifting — and
+    ``add &= notwin[eid]`` retires all of a disk's bits at once.
+    """
     k = layout.k_rows
     window = (1 << k) - 1
-    w = list(weights)
+    win: List[int] = []
+    notwin: List[int] = []
+    for eid in range(layout.n_elements):
+        w = window << ((eid // k) * k)
+        win.append(w)
+        notwin.append(~w)
+    return win, notwin
 
-    def key(mask: int) -> Tuple:
+
+class KhanCost(CostModel):
+    """Minimize total read volume only (ties broken by pop order)."""
+
+    total_only = True
+
+    def __init__(self, layout: CodeLayout) -> None:
+        self.layout = layout
+
+    def key_of_mask(self, mask: int) -> Tuple:
+        return (mask.bit_count(),)
+
+    def initial(self):
+        return 0, 0  # state == key == total reads
+
+    def extend(self, state, add, new_mask):
+        total = state + add.bit_count()
+        return total, total
+
+
+class ConditionalCost(CostModel):
+    """Minimal total read first, then minimal max per-disk load."""
+
+    def __init__(self, layout: CodeLayout) -> None:
+        self.layout = layout
+        self._win, self._notwin = _window_tables(layout)
+        self._bits = max(layout.n_elements.bit_length(), 1)
+
+    def key_of_mask(self, mask: int) -> Tuple:
+        return (mask.bit_count(), self.layout.max_load(mask))
+
+    def initial(self):
+        return (0, 0), 0  # state: (total reads, max per-disk load)
+
+    def extend(self, state, add, new_mask):
+        # Untouched disks keep their load <= mx, so the new max only needs
+        # the loads of the disks `add` touches — counted straight off
+        # new_mask through the per-disk window, one disk per iteration.
+        total, mx = state
+        total += add.bit_count()
+        win = self._win
+        notwin = self._notwin
+        while add:
+            i = add.bit_length() - 1
+            c = (new_mask & win[i]).bit_count()
+            if c > mx:
+                mx = c
+            add &= notwin[i]
+        return (total, mx), (total << self._bits) | mx
+
+
+class UnconditionalCost(ConditionalCost):
+    """Minimal max per-disk load first, then minimal total read."""
+
+    def key_of_mask(self, mask: int) -> Tuple:
+        return (self.layout.max_load(mask), mask.bit_count())
+
+    def extend(self, state, add, new_mask):
+        total, mx = state
+        total += add.bit_count()
+        win = self._win
+        notwin = self._notwin
+        while add:
+            i = add.bit_length() - 1
+            c = (new_mask & win[i]).bit_count()
+            if c > mx:
+                mx = c
+            add &= notwin[i]
+        return (total, mx), (mx << self._bits) | total
+
+
+class WeightedCost(CostModel):
+    """Heterogeneous U-Algorithm: per-disk read costs (Sec. V-D)."""
+
+    def __init__(self, layout: CodeLayout, weights: Sequence[float]) -> None:
+        if len(weights) != layout.n_disks:
+            raise ValueError(
+                f"need {layout.n_disks} weights, got {len(weights)}"
+            )
+        self.layout = layout
+        self.weights = list(weights)
+        k = layout.k_rows
+        self._shift8 = [8 * (eid // k) for eid in range(layout.n_elements)]
+
+    def _fold(self, packed: int) -> Tuple[float, float]:
+        # ascending-disk accumulation, same float ops as the mask-based key
         best = 0.0
         total = 0.0
-        for d in range(layout.n_disks):
-            c = ((mask >> (d * k)) & window).bit_count()
+        w = self.weights
+        d = 0
+        while packed:
+            c = packed & 255
             if c:
                 cost = c * w[d]
                 total += cost
                 if cost > best:
                     best = cost
+            packed >>= 8
+            d += 1
         return (best, total)
 
-    return key
+    def key_of_mask(self, mask: int) -> Tuple:
+        packed = 0
+        for d, load in enumerate(self.layout.loads(mask)):
+            packed |= load << (8 * d)
+        return self._fold(packed)
+
+    def initial(self):
+        return 0, (0.0, 0.0)  # state: packed per-disk loads
+
+    def extend(self, state, add, new_mask):
+        packed = state
+        shift8 = self._shift8
+        while add:
+            low = add & -add
+            add ^= low
+            packed += 1 << shift8[low.bit_length() - 1]
+        return packed, self._fold(packed)
+
+
+class _OpaqueCost(CostModel):
+    """Adapter running an arbitrary callable key on the generic path."""
+
+    def __init__(self, fn: CostFn) -> None:
+        self.fn = fn
+
+    def key_of_mask(self, mask: int) -> Tuple:
+        return self.fn(mask)
+
+    def initial(self):
+        return 0, self.fn(0)
+
+    def extend(self, state, add, new_mask):
+        return None, self.fn(new_mask)
+
+
+#: exact model types the compiled kernel understands (subclasses excluded:
+#: they may override key semantics the kernel would not honour)
+_CKERNEL_KINDS = {
+    KhanCost: ckernel.KIND_KHAN,
+    ConditionalCost: ckernel.KIND_CONDITIONAL,
+    UnconditionalCost: ckernel.KIND_UNCONDITIONAL,
+}
+
+
+def khan_cost(layout: CodeLayout) -> CostModel:
+    """Minimize total read volume only (ties broken by pop order)."""
+    return KhanCost(layout)
+
+
+def conditional_cost(layout: CodeLayout) -> CostModel:
+    """Minimal total read first, then minimal max per-disk load."""
+    return ConditionalCost(layout)
+
+
+def unconditional_cost(layout: CodeLayout) -> CostModel:
+    """Minimal max per-disk load first, then minimal total read."""
+    return UnconditionalCost(layout)
+
+
+def weighted_cost(layout: CodeLayout, weights: Sequence[float]) -> CostModel:
+    """Heterogeneous U-Algorithm: per-disk read costs (Sec. V-D)."""
+    return WeightedCost(layout, weights)
 
 
 @dataclass
 class SearchStats:
-    """Effort counters for Sec. V-B style running-time analysis."""
+    """Effort counters for Sec. V-B style running-time analysis.
 
-    expanded: int = 0
-    pushed: int = 0
-    pruned_closed: int = 0
-    pruned_dominated: int = 0
+    Attached to every generated scheme under ``metadata["search_stats"]``
+    (as a plain dict, so plans JSON-serialise) and surfaced by the CLI.
+    """
+
+    algorithm: str = ""
+    expanded: int = 0            #: states popped and expanded
+    pushed: int = 0              #: successor states pushed on the frontier
+    pruned_closed: int = 0       #: successors dropped by the closed set
+    pruned_dominated: int = 0    #: successors dropped by subset dominance
+    dominance_checks: int = 0    #: dominance-index probes (hit + miss)
+    peak_frontier: int = 0       #: largest frontier (heap) size reached
+    wall_time_s: float = 0.0     #: wall-clock time of the whole search
     budget_exhausted: bool = False
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"expanded={self.expanded} pushed={self.pushed} "
+            f"pruned_closed={self.pruned_closed} "
+            f"pruned_dominated={self.pruned_dominated} "
+            f"peak_frontier={self.peak_frontier} "
+            f"wall={self.wall_time_s * 1e3:.2f}ms"
+            + (" budget_exhausted" if self.budget_exhausted else "")
+        )
 
 
 class _DominanceIndex:
     """Per-slot Pareto store of (read_mask, key) for subset-dominance tests.
 
-    Entries are kept sorted by key so a lookup stops at the first entry whose
-    key exceeds the query key — only better-or-equal keys can dominate.
+    Entries are bucketed by mask popcount: a strict subset has strictly
+    fewer bits, so a probe for a mask with ``p`` bits only scans buckets
+    ``< p`` — the rest cannot dominate.  Within a bucket entries are kept
+    sorted by key and a scan stops at the first entry whose key exceeds the
+    query key, since only better-or-equal keys can dominate.
     """
 
-    __slots__ = ("keys", "masks", "limit")
+    __slots__ = ("buckets", "size", "limit")
 
     def __init__(self, limit: int) -> None:
-        self.keys: List[Tuple] = []
-        self.masks: List[int] = []
+        #: popcount -> ([keys sorted asc], [masks in key order])
+        self.buckets: Dict[int, Tuple[List, List[int]]] = {}
+        self.size = 0
         self.limit = limit
 
-    def dominated(self, mask: int, key: Tuple) -> bool:
-        keys = self.keys
-        masks = self.masks
-        for i in range(len(keys)):
-            if keys[i] > key:
-                return False
-            m = masks[i]
-            if m & mask == m and m != mask:
-                return True
+    def dominated(self, mask: int, key, pc: int) -> bool:
+        for p, (keys, masks) in self.buckets.items():
+            if p >= pc:
+                continue
+            for i in range(len(keys)):
+                if keys[i] > key:
+                    break
+                m = masks[i]
+                if m & mask == m:
+                    return True
         return False
 
-    def add(self, mask: int, key: Tuple) -> None:
-        if len(self.keys) >= self.limit:
+    def add(self, mask: int, key, pc: int) -> None:
+        if self.size >= self.limit:
             return
-        i = bisect.bisect_right(self.keys, key)
-        self.keys.insert(i, key)
-        self.masks.insert(i, mask)
+        bucket = self.buckets.get(pc)
+        if bucket is None:
+            bucket = self.buckets[pc] = ([], [])
+        keys, masks = bucket
+        i = bisect_right(keys, key)
+        keys.insert(i, key)
+        masks.insert(i, mask)
+        self.size += 1
+
+
+def _worth_ckernel(slot_opts: List[List[Tuple[int, int]]]) -> bool:
+    """Is the search big enough to amortize the kernel's marshalling cost?
+
+    The choice tree has at most ``prod(len(opts))`` leaves; below a few
+    hundred states the pure-Python engine finishes in well under the
+    ~50µs it takes to pack the option masks into C arrays.
+    """
+    est = 1
+    for opts in slot_opts:
+        est *= max(len(opts), 1)
+        if est > 512:
+            return True
+    return False
 
 
 def generate_scheme(
@@ -158,7 +400,8 @@ def generate_scheme(
     rec_eqs:
         Output of :func:`repro.equations.get_recovery_equations`.
     cost_fn:
-        One of the cost factories above (or any monotone key).
+        One of the cost factories above (a :class:`CostModel`, evaluated
+        incrementally) or any plain monotone key callable (generic path).
     algorithm:
         Label recorded on the scheme.
     max_expansions:
@@ -167,9 +410,10 @@ def generate_scheme(
         Per-slot cap on the subset-dominance store.  Defaults to 0
         (disabled): for the array codes in this repository the closed-set
         dedup already collapses the union lattice and dominance prunes no
-        additional states while costing a linear scan per push — see
+        additional states while costing a probe per push — see
         ``benchmarks/bench_ablation_pruning.py``.
     """
+    t_start = time.perf_counter()
     if not rec_eqs.is_complete():
         missing = [
             rec_eqs.failed_eids[i]
@@ -181,16 +425,64 @@ def generate_scheme(
             "enumeration depth or check recoverability"
         )
     n_slots = rec_eqs.n_failed
-    stats = SearchStats()
+    stats = SearchStats(algorithm=algorithm)
+    model = cost_fn if isinstance(cost_fn, CostModel) else _OpaqueCost(cost_fn)
 
-    # states: parallel arrays id -> (slot, mask, parent, eq)
-    slots = [0]
-    masks = [0]
-    parents = [-1]
-    eqs_used = [0]
+    # per-slot option pairs (read_mask, equation), engine-local
+    slot_opts: List[List[Tuple[int, int]]] = [
+        [(opt.read_mask, opt.equation) for opt in opts]
+        for opts in rec_eqs.options
+    ]
 
-    heap: List[Tuple[Tuple, int]] = [(cost_fn(0), 0)]
-    closed = [dict() for _ in range(n_slots + 1)]
+    # integer-key models with no dominance pruning run on the compiled
+    # kernel when one is available; it mirrors the loop below exactly and
+    # returns the byte-identical scheme (see _ucs.c), so falling through
+    # to the Python engine is always safe.
+    ckind = _CKERNEL_KINDS.get(type(model))
+    if (
+        ckind is not None
+        and dominance_limit == 0
+        and n_slots > 0
+        and _worth_ckernel(slot_opts)
+    ):
+        lay = model.layout
+        res = ckernel.run(
+            slot_opts, lay.n_disks, lay.k_rows, ckind, max_expansions
+        )
+        if res is not None:
+            chain_idx, counters = res
+            equations = []
+            goal_mask = 0
+            for slot, oi in enumerate(chain_idx):
+                rm, eq = slot_opts[slot][oi]
+                equations.append(eq)
+                goal_mask |= rm
+            stats.expanded = counters["expanded"]
+            stats.pushed = counters["pushed"]
+            stats.pruned_closed = counters["pruned_closed"]
+            stats.peak_frontier = counters["peak_frontier"]
+            stats.wall_time_s = time.perf_counter() - t_start
+            return RecoveryScheme(
+                layout=rec_eqs.layout,
+                failed_mask=rec_eqs.failed_mask,
+                failed_eids=list(rec_eqs.failed_eids),
+                equations=equations,
+                read_mask=goal_mask,
+                algorithm=algorithm,
+                exact=True,
+                expanded_states=stats.expanded,
+                metadata={"search_stats": stats.to_dict()},
+            )
+
+    init_state, init_key = model.initial()
+    extend = model.extend
+
+    # one tuple per state id: (slot, mask, parent, equation, cost state)
+    states: List[Tuple[int, int, int, int, object]] = [
+        (0, 0, -1, 0, init_state)
+    ]
+    heap: List[Tuple] = [(init_key, 0)]
+    closed: List[Dict[int, object]] = [dict() for _ in range(n_slots + 1)]
     use_dominance = dominance_limit > 0
     dominance = (
         [_DominanceIndex(dominance_limit) for _ in range(n_slots + 1)]
@@ -199,45 +491,85 @@ def generate_scheme(
     )
 
     goal_id = -1
+    frontier_sid = 0
+    best_goal_key = None  # earliest-pushed goal at the smallest key
+    best_goal_sid = -1
     budget_left = max_expansions if max_expansions is not None else float("inf")
-    best_frontier: Tuple[Tuple, int] = (cost_fn(0), 0)
+    expanded = pushed = pruned_closed = pruned_dominated = 0
+    dominance_checks = 0
+    peak_frontier = 1
+    n_states = 1
+    total_only = model.total_only
+    states_append = states.append
 
     while heap:
-        key, sid = heapq.heappop(heap)
-        slot = slots[sid]
-        mask = masks[sid]
+        if best_goal_key is not None and best_goal_key <= heap[0][0]:
+            # early-goal cutoff: no frontier state can reach a better key,
+            # and later-pushed equal-key goals never outrank this one — this
+            # is exactly the goal plain UCS would pop first.
+            goal_id = best_goal_sid
+            break
+        key, sid = heappop(heap)
+        slot, mask, _, _, cstate = states[sid]
         prev = closed[slot].get(mask)
         if prev is not None and prev < key:
             continue  # stale heap entry
         if slot == n_slots:
             goal_id = sid
             break
-        stats.expanded += 1
+        expanded += 1
         budget_left -= 1
         if budget_left < 0:
             stats.budget_exhausted = True
-            best_frontier = (key, sid)
+            frontier_sid = sid
             break
-        for opt in rec_eqs.options[slot]:
-            new_mask = mask | opt.read_mask
-            new_key = cost_fn(new_mask)
-            new_slot = slot + 1
-            seen = closed[new_slot].get(new_mask)
+        nmask = ~mask
+        new_slot = slot + 1
+        is_goal_slot = new_slot == n_slots
+        cl = closed[new_slot]
+        dom = dominance[new_slot] if use_dominance else None
+        for rm, eq in slot_opts[slot]:
+            add = rm & nmask
+            if add:
+                new_mask = mask | add
+                if total_only:
+                    new_state = new_key = cstate + add.bit_count()
+                else:
+                    new_state, new_key = extend(cstate, add, new_mask)
+            else:
+                new_mask = mask
+                new_state, new_key = cstate, key
+            seen = cl.get(new_mask)
             if seen is not None and seen <= new_key:
-                stats.pruned_closed += 1
+                pruned_closed += 1
                 continue
-            if use_dominance:
-                if dominance[new_slot].dominated(new_mask, new_key):
-                    stats.pruned_dominated += 1
+            if dom is not None:
+                pc = new_mask.bit_count()
+                dominance_checks += 1
+                if dom.dominated(new_mask, new_key, pc):
+                    pruned_dominated += 1
                     continue
-                dominance[new_slot].add(new_mask, new_key)
-            closed[new_slot][new_mask] = new_key
-            slots.append(new_slot)
-            masks.append(new_mask)
-            parents.append(sid)
-            eqs_used.append(opt.equation)
-            heapq.heappush(heap, (new_key, len(slots) - 1))
-            stats.pushed += 1
+                dom.add(new_mask, new_key, pc)
+            cl[new_mask] = new_key
+            states_append((new_slot, new_mask, sid, eq, new_state))
+            heappush(heap, (new_key, n_states))
+            if is_goal_slot and (
+                best_goal_key is None or new_key < best_goal_key
+            ):
+                best_goal_key = new_key
+                best_goal_sid = n_states
+            n_states += 1
+            pushed += 1
+        lh = len(heap)
+        if lh > peak_frontier:
+            peak_frontier = lh
+
+    stats.expanded = expanded
+    stats.pushed = pushed
+    stats.pruned_closed = pruned_closed
+    stats.pruned_dominated = pruned_dominated
+    stats.dominance_checks = dominance_checks
+    stats.peak_frontier = peak_frontier
 
     exact = True
     if goal_id < 0:
@@ -245,34 +577,37 @@ def generate_scheme(
             raise ValueError("search exhausted without covering all failed elements")
         # greedy completion from the best frontier state
         exact = False
-        _, sid = best_frontier
-        while slots[sid] < n_slots:
-            slot, mask = slots[sid], masks[sid]
-            best = min(
-                rec_eqs.options[slot],
-                key=lambda opt: cost_fn(mask | opt.read_mask),
-            )
-            slots.append(slot + 1)
-            masks.append(mask | best.read_mask)
-            parents.append(sid)
-            eqs_used.append(best.equation)
-            sid = len(slots) - 1
+        key_of_mask = model.key_of_mask
+        sid = frontier_sid
+        while states[sid][0] < n_slots:
+            slot, mask = states[sid][0], states[sid][1]
+            best_key = None
+            best_rm = best_eq = 0
+            for rm, eq in slot_opts[slot]:
+                k = key_of_mask(mask | rm)
+                if best_key is None or k < best_key:
+                    best_key, best_rm, best_eq = k, rm, eq
+            states_append((slot + 1, mask | best_rm, sid, best_eq, None))
+            sid = len(states) - 1
         goal_id = sid
 
     chain: List[int] = []
     sid = goal_id
-    while parents[sid] >= 0:
-        chain.append(eqs_used[sid])
-        sid = parents[sid]
+    goal_mask = states[goal_id][1]
+    while states[sid][2] >= 0:
+        chain.append(states[sid][3])
+        sid = states[sid][2]
     chain.reverse()
 
+    stats.wall_time_s = time.perf_counter() - t_start
     return RecoveryScheme(
         layout=rec_eqs.layout,
         failed_mask=rec_eqs.failed_mask,
         failed_eids=list(rec_eqs.failed_eids),
         equations=chain,
-        read_mask=masks[goal_id],
+        read_mask=goal_mask,
         algorithm=algorithm,
         exact=exact,
         expanded_states=stats.expanded,
+        metadata={"search_stats": stats.to_dict()},
     )

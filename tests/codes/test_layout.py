@@ -110,6 +110,30 @@ class TestLoads:
         assert sum(lay.loads(mask)) == bin(mask).count("1")
         assert lay.max_load(mask) == max(lay.loads(mask))
 
+    def test_disk_entries_decomposition(self, lay):
+        mask = lay.element_mask([(0, 0), (0, 2), (3, 1), (5, 0)])
+        entries = lay.disk_entries(mask)
+        assert [d for d, _ in entries] == [0, 3, 5]
+        # submasks keep global bit positions and reassemble the mask
+        combined = 0
+        for disk, sub in entries:
+            assert sub & lay.disk_mask(disk) == sub
+            assert sub.bit_count() == lay.load_of_disk(mask, disk)
+            combined |= sub
+        assert combined == mask
+
+    def test_disk_entries_empty_mask(self, lay):
+        assert lay.disk_entries(0) == ()
+
+    @given(st.integers(0, 2**18 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_disk_entries_consistent_with_loads(self, mask):
+        lay = CodeLayout(4, 2, 3)
+        loads = lay.loads(mask)
+        entries = dict(lay.disk_entries(mask))
+        for disk, load in enumerate(loads):
+            assert entries.get(disk, 0).bit_count() == load
+
 
 class TestRender:
     def test_render_marks_cells(self, lay):

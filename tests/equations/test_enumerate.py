@@ -118,3 +118,46 @@ class TestMultiElementMasks:
         rec.validate()
         # completeness may require the search; at least some slots have options
         assert any(rec.options)
+
+
+class TestMemoization:
+    """get_recovery_equations is cached; hits must be mutation-safe copies."""
+
+    def test_repeat_call_returns_equal_but_distinct_lists(self):
+        from repro.equations import clear_enumeration_caches
+
+        clear_enumeration_caches()
+        code = RdpCode(7)
+        failed = code.layout.disk_mask(0)
+        first = get_recovery_equations(code, failed, depth=1)
+        second = get_recovery_equations(code, failed, depth=1)
+        assert first.options == second.options
+        assert first.options is not second.options
+        for a, b in zip(first.options, second.options):
+            assert a is not b
+
+    def test_caller_mutation_does_not_poison_cache(self):
+        """Degraded reads / escalation rotate and filter option lists in
+        place — a later call must still see the full enumeration."""
+        code = RdpCode(7)
+        failed = code.layout.disk_mask(0)
+        rec = get_recovery_equations(code, failed, depth=1)
+        pristine = [list(opts) for opts in rec.options]
+        rec.options[0].clear()
+        rec.options[1].reverse()
+        fresh = get_recovery_equations(code, failed, depth=1)
+        assert fresh.options == pristine
+
+    def test_clear_enumeration_caches_forces_recompute(self):
+        from repro.equations import clear_enumeration_caches
+        from repro.equations import enumerate as enum_mod
+
+        code = RdpCode(5)
+        failed = code.layout.disk_mask(1)
+        get_recovery_equations(code, failed, depth=1)
+        assert enum_mod._ENUM_CACHE
+        clear_enumeration_caches()
+        assert not enum_mod._ENUM_CACHE
+        assert not enum_mod._CLOSURE_CACHE
+        rec = get_recovery_equations(code, failed, depth=1)
+        rec.validate()

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.codes import CodeLayout, RdpCode
+from repro.codes import CodeLayout, RdpCode, make_code
 from repro.equations import get_recovery_equations
 from repro.equations.enumerate import EquationOption, RecoveryEquations
+from repro.recovery import ckernel
 from repro.recovery.search import (
     SearchStats,
     conditional_cost,
@@ -158,3 +159,120 @@ class TestEngine:
         assert (k.total_reads,) == best_khan
         assert (c.total_reads, c.max_load) == best_c
         assert (u.max_load, u.total_reads) == best_u
+
+
+class TestIncrementalCostModels:
+    """The incremental extend() path must agree with key_of_mask()."""
+
+    @pytest.mark.parametrize(
+        "factory", [khan_cost, conditional_cost, unconditional_cost]
+    )
+    def test_extend_consistent_with_key_of_mask(self, factory):
+        lay = CodeLayout(4, 2, 3)
+        model = factory(lay)
+        masks = [
+            0b101,
+            0b110001,
+            0b111000111,
+            lay.disk_mask(3),
+            lay.disk_mask(1) | 0b1,
+            lay.element_mask([(0, 0), (1, 0), (2, 0), (5, 2)]),
+        ]
+
+        def internal_key(mask):
+            # fold bit by bit — a different increment order than one shot
+            state, key = model.initial()
+            seen = 0
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                seen |= low
+                state, key = model.extend(state, low, seen)
+            return key
+
+        # incremental keys must be path-independent...
+        for m in masks:
+            state0, _ = model.initial()
+            _, one_shot = model.extend(state0, m, m)
+            assert internal_key(m) == one_shot
+        # ...and order masks exactly as the public lexicographic key does
+        by_internal = sorted(masks, key=internal_key)
+        by_public = sorted(masks, key=model.key_of_mask)
+        assert [model.key_of_mask(m) for m in by_internal] == [
+            model.key_of_mask(m) for m in by_public
+        ]
+
+    def test_weighted_extend_matches_fold(self):
+        lay = CodeLayout(3, 1, 2)
+        model = weighted_cost(lay, [1.0, 2.0, 0.5, 3.0])
+        mask = lay.element_mask([(0, 0), (1, 0), (1, 1), (3, 1)])
+        state, key = model.initial()
+        state, key = model.extend(state, mask, mask)
+        assert key == model.key_of_mask(mask)
+
+
+class TestSearchStatsMetadata:
+    def test_scheme_carries_populated_stats(self):
+        code = RdpCode(7)
+        rec = get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        s = generate_scheme(rec, conditional_cost(code.layout), "c")
+        stats = s.search_stats
+        assert stats is not None
+        assert stats["algorithm"] == "c"
+        assert stats["expanded"] >= 1
+        assert stats["pushed"] >= stats["expanded"]
+        assert stats["peak_frontier"] >= 1
+        assert stats["wall_time_s"] > 0
+        assert s.expanded_states == stats["expanded"]
+
+    def test_stats_summary_renders(self):
+        stats = SearchStats(algorithm="u", expanded=10, pushed=20)
+        text = stats.summary()
+        assert "expanded=10" in text and "pushed=20" in text
+
+    def test_stats_serialise_with_plan(self, tmp_path):
+        from repro.recovery.planner import RecoveryPlanner
+
+        code = RdpCode(5)
+        planner = RecoveryPlanner(code, "u", depth=1)
+        planner.scheme_for_disk(0)
+        path = tmp_path / "plan.json"
+        planner.save(path)
+        fresh = RecoveryPlanner(code, "u", depth=1)
+        assert fresh.load(path) == 1
+        assert fresh.scheme_for_disk(0).search_stats is not None
+
+
+class TestCompiledKernel:
+    """The C kernel must be bit-for-bit equivalent to the Python engine."""
+
+    @pytest.fixture(autouse=True)
+    def _require_kernel(self):
+        if not ckernel.available():
+            pytest.skip("no C compiler available; pure-Python mode")
+
+    @pytest.mark.parametrize("family,n", [("rdp", 9), ("evenodd", 8), ("star", 8)])
+    @pytest.mark.parametrize(
+        "factory,alg",
+        [(khan_cost, "khan"), (conditional_cost, "c"), (unconditional_cost, "u")],
+    )
+    def test_matches_pure_python(self, monkeypatch, family, n, factory, alg):
+        import repro.recovery.search as search_mod
+
+        code = make_code(family, n)
+        lay = code.layout
+        rec = get_recovery_equations(code, lay.disk_mask(0), depth=1)
+        # force the kernel even below the size heuristic so small, fast
+        # codes still exercise it
+        monkeypatch.setattr(search_mod, "_worth_ckernel", lambda _s: True)
+        compiled = generate_scheme(rec, factory(lay), alg)
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+        monkeypatch.setattr(ckernel, "_lib", None)
+        monkeypatch.setattr(ckernel, "_load_attempted", True)
+        pure = generate_scheme(rec, factory(lay), alg)
+        monkeypatch.setattr(ckernel, "_load_attempted", False)
+        assert compiled.read_mask == pure.read_mask
+        assert compiled.equations == pure.equations
+        cs, ps = compiled.search_stats, pure.search_stats
+        for field in ("expanded", "pushed", "pruned_closed", "peak_frontier"):
+            assert cs[field] == ps[field], field
