@@ -21,6 +21,8 @@ Package map:
 * :mod:`repro.recovery` — naive / Khan / C- / U-algorithm generators, the
   heterogeneous and multi-failure variants, and the scheme planner.
 * :mod:`repro.codec` — byte-level encode / recover / verify.
+* :mod:`repro.faults` — injectable fault plans (latent sector errors, silent
+  corruption, slow disks, whole-disk death) and the faulty stripe store.
 * :mod:`repro.disksim` — disk-array timing + event-driven on-line recovery.
 * :mod:`repro.analysis` — figure/series generators and metrics.
 """
@@ -45,9 +47,11 @@ from repro.disksim import (
     simulate_stack_recovery,
 )
 from repro.equations import get_recovery_equations
+from repro.faults import FaultPlan, FaultyStripeStore
 from repro.recovery import (
     RecoveryPlanner,
     RecoveryScheme,
+    ResilientExecutor,
     c_scheme,
     khan_scheme,
     naive_scheme,
@@ -63,9 +67,12 @@ __all__ = [
     "DiskArraySimulator",
     "DiskParams",
     "ErasureCode",
+    "FaultPlan",
+    "FaultyStripeStore",
     "Reconstructor",
     "RecoveryPlanner",
     "RecoveryScheme",
+    "ResilientExecutor",
     "SAVVIO_10K3",
     "SchemeCache",
     "StripeCodec",

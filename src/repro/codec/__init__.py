@@ -11,13 +11,21 @@ from repro.codec.batch import BatchReconstructor
 from repro.codec.encoder import StripeCodec
 from repro.codec.image import ArrayImageCodec
 from repro.codec.reconstructor import Reconstructor, execute_scheme
-from repro.codec.verify import verify_scheme_on_random_data
+from repro.codec.verify import (
+    element_checksum,
+    stripe_checksums,
+    verify_element,
+    verify_scheme_on_random_data,
+)
 
 __all__ = [
     "ArrayImageCodec",
     "BatchReconstructor",
     "Reconstructor",
     "StripeCodec",
+    "element_checksum",
     "execute_scheme",
+    "stripe_checksums",
+    "verify_element",
     "verify_scheme_on_random_data",
 ]

@@ -1,8 +1,18 @@
-"""End-to-end scheme verification on random data."""
+"""End-to-end scheme verification on random data, plus element integrity.
+
+Two layers of "is the data right?":
+
+* :func:`verify_scheme_on_random_data` — whole-scheme byte round trip, the
+  paper's Sec. VI-A correctness check.
+* :func:`element_checksum` / :func:`verify_element` — per-element CRC32,
+  the integrity primitive the fault-tolerant read path uses to catch
+  *silent* corruption (a read that succeeds but returns wrong bytes).
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+import zlib
+from typing import List, Optional
 
 import numpy as np
 
@@ -10,6 +20,21 @@ from repro.codec.encoder import StripeCodec
 from repro.codec.reconstructor import Reconstructor
 from repro.codes.base import ErasureCode
 from repro.recovery.scheme import RecoveryScheme
+
+
+def element_checksum(element: np.ndarray) -> int:
+    """CRC32 of one element's bytes (the store's integrity metadata)."""
+    return zlib.crc32(np.ascontiguousarray(element).tobytes()) & 0xFFFFFFFF
+
+
+def stripe_checksums(stripe: np.ndarray) -> List[int]:
+    """Per-element CRC32s of a whole stripe, indexed by eid."""
+    return [element_checksum(stripe[eid]) for eid in range(stripe.shape[0])]
+
+
+def verify_element(element: np.ndarray, checksum: int) -> bool:
+    """Does the element's payload match its recorded checksum?"""
+    return element_checksum(element) == checksum
 
 
 def verify_scheme_on_random_data(

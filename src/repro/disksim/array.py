@@ -24,12 +24,20 @@ class DiskArraySimulator:
     params:
         Either a single :class:`DiskParams` shared by all disks or one per
         disk (heterogeneous environments, Sec. V-D).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Slow-disk faults
+        multiply that disk's read times; latent sector errors add the cost
+        of the failed attempt (one positioning + one transfer per retried
+        element) when the stripe-aware entry points are used.  Byte-level
+        fault semantics live in :mod:`repro.faults` — this class only
+        prices them.
     """
 
     def __init__(
         self,
         n_disks: int,
         params: "DiskParams | Sequence[DiskParams]" = SAVVIO_10K3,
+        fault_plan=None,
     ) -> None:
         if n_disks < 1:
             raise ValueError(f"n_disks must be >= 1, got {n_disks}")
@@ -43,6 +51,10 @@ class DiskArraySimulator:
                 )
             self.disks = params
         self.n_disks = n_disks
+        self.fault_plan = fault_plan
+
+    def _slow_factor(self, disk: int) -> float:
+        return self.fault_plan.slow_factor(disk) if self.fault_plan else 1.0
 
     # ------------------------------------------------------------------
     def rows_by_disk(self, layout: CodeLayout, read_mask: int) -> Dict[int, List[int]]:
@@ -57,18 +69,35 @@ class DiskArraySimulator:
         return out
 
     def per_disk_read_times(
-        self, layout: CodeLayout, read_mask: int
+        self, layout: CodeLayout, read_mask: int, stripe: Optional[int] = None
     ) -> List[float]:
-        """Seconds each disk spends reading its share of a stripe."""
-        by_disk = self.rows_by_disk(layout, read_mask)
-        return [
-            self.disks[d].read_time_for_rows(by_disk.get(d, ()))
-            for d in range(self.n_disks)
-        ]
+        """Seconds each disk spends reading its share of a stripe.
 
-    def stripe_recovery_time(self, layout: CodeLayout, read_mask: int) -> float:
+        With a fault plan attached, slow-disk factors scale each disk's
+        time; when ``stripe`` is given, every latent-sector-error element
+        in the read set additionally pays the failed attempt (one
+        positioning penalty + one element transfer on its disk).
+        """
+        by_disk = self.rows_by_disk(layout, read_mask)
+        times = []
+        for d in range(self.n_disks):
+            rows = by_disk.get(d, ())
+            t = self.disks[d].read_time_for_rows(rows)
+            if self.fault_plan is not None and stripe is not None:
+                p = self.disks[d]
+                for row in rows:
+                    if self.fault_plan.lse_at(stripe, d, row):
+                        t += p.positioning_s + p.element_read_s
+            times.append(t * self._slow_factor(d))
+        return times
+
+    def stripe_recovery_time(
+        self, layout: CodeLayout, read_mask: int, stripe: Optional[int] = None
+    ) -> float:
         """Parallel read time of one stripe: max over disks."""
-        return max(self.per_disk_read_times(layout, read_mask), default=0.0)
+        return max(
+            self.per_disk_read_times(layout, read_mask, stripe), default=0.0
+        )
 
     def stripe_recovery_time_serial(
         self, layout: CodeLayout, read_mask: int

@@ -66,20 +66,37 @@ class _DiskState:
     last_row: Optional[int] = None
     user_queue: Deque = field(default_factory=deque)
     recovery_queue: Deque = field(default_factory=deque)
+    #: service-time multiplier from a SlowDisk fault (1.0 = healthy)
+    slow_factor: float = 1.0
+    #: rows with a persistent latent sector error: each access pays one
+    #: extra (failed) attempt before the retry succeeds off the media
+    lse_rows: frozenset = frozenset()
 
     def service_time(self, row: int, n_elements: int) -> float:
         adjacent = self.last_row is not None and row == self.last_row + 1
         t = 0.0 if adjacent else self.params.positioning_s
-        return t + n_elements * self.params.element_read_s
+        t += n_elements * self.params.element_read_s
+        if row in self.lse_rows:
+            t += self.params.positioning_s + self.params.element_read_s
+        return t * self.slow_factor
 
 
 class EventDrivenArray:
-    """Discrete-event array shared by user traffic and recovery reads."""
+    """Discrete-event array shared by user traffic and recovery reads.
+
+    An optional :class:`~repro.faults.plan.FaultPlan` degrades service:
+    slow-disk faults stretch every access on that disk, and *persistent*
+    latent sector errors (``stripe=None``) charge each access to the bad
+    row one extra failed attempt.  Stripe-scoped element faults and
+    whole-disk deaths are byte-path concerns handled by the resilient
+    executor, not this queueing model.
+    """
 
     def __init__(
         self,
         n_disks: int,
         params: "DiskParams | Sequence[DiskParams]" = SAVVIO_10K3,
+        fault_plan=None,
     ) -> None:
         if isinstance(params, DiskParams):
             params_list = [params] * n_disks
@@ -89,6 +106,19 @@ class EventDrivenArray:
                 raise ValueError(f"need {n_disks} DiskParams")
         self.disks = [_DiskState(p) for p in params_list]
         self.n_disks = n_disks
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            from repro.faults.plan import LatentSectorError
+
+            for d, state in enumerate(self.disks):
+                state.slow_factor = fault_plan.slow_factor(d)
+                state.lse_rows = frozenset(
+                    f.row
+                    for f in fault_plan.faults
+                    if isinstance(f, LatentSectorError)
+                    and f.disk == d
+                    and f.stripe is None
+                )
 
     # ------------------------------------------------------------------
     def run_online_recovery(

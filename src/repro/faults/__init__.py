@@ -1,0 +1,44 @@
+"""Fault injection: describe what breaks, then recover through it.
+
+The paper's recovery schemes are *plans*; this subpackage supplies the
+hostile world they must execute in.  A :class:`FaultPlan` declares latent
+sector errors, silent corruption, slow disks and mid-rebuild whole-disk
+deaths; :class:`FaultyStripeStore` applies them to byte-level element
+reads; :class:`FaultReport` records what the resilient executor
+(:class:`~repro.recovery.resilient.ResilientExecutor`) did about them.
+The disksim layer consumes the same plan for timing (slow factors, retry
+penalties), so one fault description drives bytes and clocks alike.
+
+See ``docs/fault_tolerance.md`` for the fault model and the
+retry / substitution / escalation ladder.
+"""
+
+from repro.faults.plan import (
+    DiskFailure,
+    FaultPlan,
+    LatentSectorError,
+    SilentCorruption,
+    SlowDisk,
+    parse_fault,
+)
+from repro.faults.report import FaultReport
+from repro.faults.store import (
+    CORRUPTION_XOR,
+    DiskDeadError,
+    FaultyStripeStore,
+    ReadError,
+)
+
+__all__ = [
+    "CORRUPTION_XOR",
+    "DiskDeadError",
+    "DiskFailure",
+    "FaultPlan",
+    "FaultReport",
+    "FaultyStripeStore",
+    "LatentSectorError",
+    "ReadError",
+    "SilentCorruption",
+    "SlowDisk",
+    "parse_fault",
+]

@@ -1,0 +1,217 @@
+"""Injectable fault plans: what goes wrong, where, and when.
+
+Recovery in a real array does not run against a cooperative substrate.
+Field studies of large deployments report latent sector errors on a few
+percent of drives per year, silent corruption that only a checksum catches,
+transiently slow ("limping") disks, and — worst — a second whole-disk
+failure inside the window of vulnerability.  A :class:`FaultPlan` is a
+declarative bundle of such faults that the byte-level store
+(:class:`~repro.faults.store.FaultyStripeStore`), the timing simulators
+(:class:`~repro.disksim.array.DiskArraySimulator`,
+:class:`~repro.disksim.events.EventDrivenArray`) and the resilient executor
+(:class:`~repro.recovery.resilient.ResilientExecutor`) all consume, so one
+description drives both the byte path and the timing path.
+
+Fault classes
+-------------
+* :class:`LatentSectorError` — a read of one element fails *detectably*
+  (medium error).  Persistent: retries fail too.
+* :class:`SilentCorruption` — a read of one element succeeds but returns
+  wrong bytes; only the per-element checksum exposes it.
+* :class:`SlowDisk` — every access to one disk takes ``factor`` times
+  longer (no data loss).
+* :class:`DiskFailure` — the whole disk dies once recovery reaches stripe
+  ``at_stripe``; every later read of it raises.
+
+Stripe scoping: ``stripe=None`` means the fault applies to the element on
+*every* stripe; an integer pins it to one stripe index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LatentSectorError:
+    """A detectable, persistent read error on one element."""
+
+    disk: int
+    row: int
+    stripe: Optional[int] = None
+
+    def describe(self) -> str:
+        where = "all stripes" if self.stripe is None else f"stripe {self.stripe}"
+        return f"latent sector error disk {self.disk} row {self.row} ({where})"
+
+
+@dataclass(frozen=True)
+class SilentCorruption:
+    """A read that returns wrong bytes without any error indication."""
+
+    disk: int
+    row: int
+    stripe: Optional[int] = None
+
+    def describe(self) -> str:
+        where = "all stripes" if self.stripe is None else f"stripe {self.stripe}"
+        return f"silent corruption disk {self.disk} row {self.row} ({where})"
+
+
+@dataclass(frozen=True)
+class SlowDisk:
+    """A disk whose every access takes ``factor`` times longer."""
+
+    disk: int
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"slow factor must be positive, got {self.factor}")
+
+    def describe(self) -> str:
+        return f"slow disk {self.disk} (x{self.factor:g})"
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """Whole-disk death once recovery reaches stripe ``at_stripe``."""
+
+    disk: int
+    at_stripe: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_stripe < 0:
+            raise ValueError("at_stripe must be >= 0")
+
+    def describe(self) -> str:
+        return f"disk {self.disk} dies at stripe {self.at_stripe}"
+
+
+Fault = "LatentSectorError | SilentCorruption | SlowDisk | DiskFailure"
+
+
+class FaultPlan:
+    """An immutable bundle of injected faults, queryable by consumers.
+
+    The plan is pure description: it never touches bytes or clocks itself.
+    Consumers ask it questions — "does this element read error?", "how slow
+    is this disk?", "is this disk dead by stripe s?" — and act accordingly.
+    """
+
+    def __init__(self, faults: Iterable = ()) -> None:
+        self.faults: Tuple = tuple(faults)
+        for f in self.faults:
+            if not isinstance(
+                f, (LatentSectorError, SilentCorruption, SlowDisk, DiskFailure)
+            ):
+                raise TypeError(f"not a fault: {f!r}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _element_fault(self, cls, stripe: int, disk: int, row: int) -> bool:
+        return any(
+            isinstance(f, cls)
+            and f.disk == disk
+            and f.row == row
+            and (f.stripe is None or f.stripe == stripe)
+            for f in self.faults
+        )
+
+    def lse_at(self, stripe: int, disk: int, row: int) -> bool:
+        """Does reading this element raise a (detectable) medium error?"""
+        return self._element_fault(LatentSectorError, stripe, disk, row)
+
+    def corrupt_at(self, stripe: int, disk: int, row: int) -> bool:
+        """Does reading this element return silently wrong bytes?"""
+        return self._element_fault(SilentCorruption, stripe, disk, row)
+
+    def slow_factor(self, disk: int) -> float:
+        """Service-time multiplier for a disk (1.0 when healthy)."""
+        factor = 1.0
+        for f in self.faults:
+            if isinstance(f, SlowDisk) and f.disk == disk:
+                factor *= f.factor
+        return factor
+
+    def death_stripe(self, disk: int) -> Optional[int]:
+        """Stripe index at which the disk dies, or ``None`` if it survives."""
+        stripes = [
+            f.at_stripe
+            for f in self.faults
+            if isinstance(f, DiskFailure) and f.disk == disk
+        ]
+        return min(stripes) if stripes else None
+
+    def dead_at(self, disk: int, stripe: int) -> bool:
+        """Is the disk dead by the time recovery reaches ``stripe``?"""
+        death = self.death_stripe(disk)
+        return death is not None and stripe >= death
+
+    def element_faults(self) -> List:
+        """The per-element faults (LSEs and corruptions) in the plan."""
+        return [
+            f
+            for f in self.faults
+            if isinstance(f, (LatentSectorError, SilentCorruption))
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "no faults"
+        return "; ".join(f.describe() for f in self.faults)
+
+    # ------------------------------------------------------------------
+    # CLI spec parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "FaultPlan":
+        """Build a plan from compact CLI specs (``repro recover --inject``).
+
+        Grammar (colon-separated, one fault per spec)::
+
+            lse:DISK:ROW[:STRIPE]      latent sector error
+            corrupt:DISK:ROW[:STRIPE]  silent corruption
+            slow:DISK[:FACTOR]         slow disk (default factor 4.0)
+            die:DISK[:STRIPE]          whole-disk death (default stripe 0)
+        """
+        faults = []
+        for spec in specs:
+            faults.append(parse_fault(spec))
+        return cls(faults)
+
+
+def parse_fault(spec: str):
+    """Parse one ``--inject`` spec; see :meth:`FaultPlan.parse` for grammar."""
+    parts = spec.strip().split(":")
+    kind, args = parts[0].lower(), parts[1:]
+    try:
+        if kind in ("lse", "corrupt"):
+            if not 2 <= len(args) <= 3:
+                raise ValueError("expected DISK:ROW[:STRIPE]")
+            disk, row = int(args[0]), int(args[1])
+            stripe = int(args[2]) if len(args) == 3 else None
+            fault_cls = LatentSectorError if kind == "lse" else SilentCorruption
+            return fault_cls(disk, row, stripe)
+        if kind == "slow":
+            if not 1 <= len(args) <= 2:
+                raise ValueError("expected DISK[:FACTOR]")
+            return SlowDisk(int(args[0]), float(args[1]) if len(args) == 2 else 4.0)
+        if kind == "die":
+            if not 1 <= len(args) <= 2:
+                raise ValueError("expected DISK[:STRIPE]")
+            return DiskFailure(int(args[0]), int(args[1]) if len(args) == 2 else 0)
+    except ValueError as exc:
+        raise ValueError(f"bad fault spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"bad fault spec {spec!r}: unknown kind {kind!r} "
+        "(expected lse, corrupt, slow or die)"
+    )

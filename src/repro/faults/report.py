@@ -1,0 +1,116 @@
+"""Structured account of what a resilient recovery survived.
+
+A :class:`FaultReport` is attached to every
+:class:`~repro.recovery.resilient.ResilientExecutor` run.  It answers the
+operational questions a rebuild leaves behind: how many reads were retried
+and on which disks, which recovery equations had to be swapped for
+alternatives (and why), whether the run escalated to a double-failure plan,
+and how many elements were read beyond what the original scheme budgeted —
+the raw material for the recovery-time-inflation numbers in
+``benchmarks/bench_fault_recovery.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class FaultReport:
+    """Per-run fault accounting, JSON-serialisable via :meth:`as_dict`.
+
+    Attributes
+    ----------
+    stripes_processed:
+        Stripes fully recovered.
+    planned_reads:
+        Elements the schemes in effect would have read with no faults.
+    elements_read:
+        Actual element-read *attempts* issued (including failed ones).
+    extra_elements_read:
+        ``elements_read - planned_reads`` — the I/O price of the faults.
+    retries_per_disk:
+        Failed-then-retried read attempts, keyed by disk.
+    latent_errors / corruptions_detected:
+        Element faults detected (after retries were exhausted).
+    substitutions:
+        One entry per equation swap:
+        ``{stripe, eid, original_equation, substitute_equation, reason}``.
+    escalations:
+        One entry per mid-rebuild disk death:
+        ``{stripe, secondary_disk, recovered_rows}``.
+    per_stripe_read_masks:
+        Surviving-element mask actually read for each stripe — feed these
+        to the disksim layer to price the faulted rebuild.
+    """
+
+    stripes_processed: int = 0
+    planned_reads: int = 0
+    elements_read: int = 0
+    retries_per_disk: Dict[int, int] = field(default_factory=dict)
+    latent_errors: int = 0
+    corruptions_detected: int = 0
+    substitutions: List[Dict[str, Any]] = field(default_factory=list)
+    escalations: List[Dict[str, Any]] = field(default_factory=list)
+    per_stripe_read_masks: List[int] = field(default_factory=list)
+
+    @property
+    def extra_elements_read(self) -> int:
+        return self.elements_read - self.planned_reads
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries_per_disk.values())
+
+    @property
+    def escalated(self) -> bool:
+        return bool(self.escalations)
+
+    # ------------------------------------------------------------------
+    def record_retry(self, disk: int) -> None:
+        self.retries_per_disk[disk] = self.retries_per_disk.get(disk, 0) + 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable; masks as hex strings)."""
+        return {
+            "stripes_processed": self.stripes_processed,
+            "planned_reads": self.planned_reads,
+            "elements_read": self.elements_read,
+            "extra_elements_read": self.extra_elements_read,
+            "retries_per_disk": dict(self.retries_per_disk),
+            "latent_errors": self.latent_errors,
+            "corruptions_detected": self.corruptions_detected,
+            "substitutions": [
+                {**s,
+                 "original_equation": hex(s["original_equation"]),
+                 "substitute_equation": hex(s["substitute_equation"])}
+                for s in self.substitutions
+            ],
+            "escalations": list(self.escalations),
+            "per_stripe_read_masks": [hex(m) for m in self.per_stripe_read_masks],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (CLI output)."""
+        lines = [
+            f"stripes recovered : {self.stripes_processed}",
+            f"elements read     : {self.elements_read} "
+            f"(planned {self.planned_reads}, extra {self.extra_elements_read})",
+            f"retries           : {self.total_retries} "
+            f"{dict(sorted(self.retries_per_disk.items()))}",
+            f"latent errors     : {self.latent_errors}",
+            f"corruptions caught: {self.corruptions_detected}",
+        ]
+        for s in self.substitutions:
+            lines.append(
+                f"substituted eq for element {s['eid']} on stripe "
+                f"{s['stripe']} ({s['reason']})"
+            )
+        for e in self.escalations:
+            lines.append(
+                f"ESCALATED at stripe {e['stripe']}: disk "
+                f"{e['secondary_disk']} died, {len(e['recovered_rows'])} rows "
+                f"of the primary already rebuilt"
+            )
+        return "\n".join(lines)

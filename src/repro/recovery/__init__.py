@@ -23,6 +23,11 @@ from repro.recovery.khan import khan_scheme, khan_scheme_for_mask
 from repro.recovery.multifailure import recover_failure
 from repro.recovery.naive import naive_scheme, naive_scheme_for_mask
 from repro.recovery.planner import RecoveryPlanner
+from repro.recovery.resilient import (
+    ElementUnreadable,
+    ResilientExecutor,
+    ResilientResult,
+)
 from repro.recovery.scheme import RecoveryScheme
 from repro.recovery.stats import SchemeStats, compare_stats, scheme_stats
 from repro.recovery.search import (
@@ -56,8 +61,11 @@ def scheme_for_disk(code, failed_disk: int, algorithm: str = "u", **kwargs):
 
 __all__ = [
     "ALGORITHMS",
+    "ElementUnreadable",
     "RecoveryPlanner",
     "RecoveryScheme",
+    "ResilientExecutor",
+    "ResilientResult",
     "SchemeStats",
     "SearchStats",
     "compare_stats",

@@ -22,6 +22,7 @@ import ctypes
 import hashlib
 import os
 import subprocess
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -58,13 +59,18 @@ def _compile(src: Path, out: Path) -> None:
     out.parent.mkdir(parents=True, exist_ok=True)
     tmp = out.with_name(f"{out.stem}.{os.getpid()}.tmp")
     cc = os.environ.get("CC", "cc")
-    subprocess.run(
-        [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)],
-        check=True,
-        capture_output=True,
-        timeout=120,
-    )
-    os.replace(tmp, out)  # atomic: concurrent compiles race benignly
+    try:
+        subprocess.run(
+            [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp, out)  # atomic: concurrent compiles race benignly
+    finally:
+        # a failed cc may leave a partial object behind; never litter the
+        # cache dir (os.replace already consumed tmp on the success path)
+        tmp.unlink(missing_ok=True)
 
 
 def load() -> Optional[ctypes.CDLL]:
@@ -96,7 +102,22 @@ def load() -> Optional[ctypes.CDLL]:
             ctypes.POINTER(_Stats),            # stats
         ]
         _lib = lib
-    except Exception:
+    except Exception as exc:
+        # the fallback is silent by design (pure Python is byte-identical),
+        # but REPRO_CKERNEL_DEBUG=1 surfaces *why* the kernel was skipped
+        if os.environ.get("REPRO_CKERNEL_DEBUG"):
+            stderr = getattr(exc, "stderr", None)
+            detail = ""
+            if stderr:
+                if isinstance(stderr, bytes):
+                    stderr = stderr.decode(errors="replace")
+                detail = f"; compiler stderr: {stderr.strip()}"
+            warnings.warn(
+                f"repro C kernel unavailable, using pure-Python engine "
+                f"({exc!r}{detail})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         _lib = None
     return _lib
 

@@ -101,27 +101,67 @@ def execute_escalated(
 
     ``in_memory`` maps already-recovered eids to their payloads; sentinel
     slots are served from it, everything else XORs like a normal scheme.
+
+    Slots are resolved in *dependency* order, not list order: an equation
+    may reference a failed element whose slot appears later in
+    ``failed_eids`` (e.g. a sentinel for a high eid feeding a low eid's
+    equation), which list-order execution would hit before it exists.  A
+    genuinely unsatisfiable plan — circular or missing dependencies —
+    raises :class:`ValueError` naming the stuck elements instead of a bare
+    ``KeyError``.
     """
-    lay = scheme.layout
     failed_mask = scheme.failed_mask
     out: Dict[int, np.ndarray] = {}
-    for f, eq in zip(scheme.failed_eids, scheme.equations):
-        if eq == 1 << f:  # sentinel: already recovered
-            if f not in in_memory:
-                raise KeyError(f"element {f} marked in-memory but not supplied")
-            out[f] = in_memory[f]
-            continue
-        members = eq & ~(1 << f)
-        acc = np.zeros(stripe.shape[1], dtype=np.uint8)
-        m = members
-        while m:
-            low = m & -m
-            eid = low.bit_length() - 1
-            m ^= low
-            if (failed_mask >> eid) & 1:
-                source = out[eid]
-            else:
-                source = stripe[eid]
-            np.bitwise_xor(acc, source, out=acc)
-        out[f] = acc
+    done_mask = 0
+    pending = list(zip(scheme.failed_eids, scheme.equations))
+    while pending:
+        progressed = False
+        still_pending = []
+        for f, eq in pending:
+            if eq == 1 << f:  # sentinel: already recovered
+                if f not in in_memory:
+                    raise KeyError(
+                        f"element {f} marked in-memory but not supplied"
+                    )
+                out[f] = in_memory[f]
+                done_mask |= 1 << f
+                progressed = True
+                continue
+            deps = eq & failed_mask & ~(1 << f)
+            if deps & ~done_mask:  # some failed member not yet recovered
+                still_pending.append((f, eq))
+                continue
+            members = eq & ~(1 << f)
+            acc = np.zeros(stripe.shape[1], dtype=np.uint8)
+            m = members
+            while m:
+                low = m & -m
+                eid = low.bit_length() - 1
+                m ^= low
+                source = out[eid] if (failed_mask >> eid) & 1 else stripe[eid]
+                np.bitwise_xor(acc, source, out=acc)
+            out[f] = acc
+            done_mask |= 1 << f
+            progressed = True
+        if not progressed:
+            stuck = sorted(f for f, _ in still_pending)
+            missing = {
+                f: sorted(
+                    _bits((eq & failed_mask & ~(1 << f)) & ~done_mask)
+                )
+                for f, eq in still_pending
+            }
+            raise ValueError(
+                f"escalated plan is not executable: elements {stuck} wait "
+                f"on failed elements that are never recovered before them "
+                f"({missing})"
+            )
+        pending = still_pending
     return out
+
+
+def _bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

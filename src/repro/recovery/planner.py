@@ -44,8 +44,18 @@ def _init_worker(code, algorithm, depth, max_expansions) -> None:
 
 def _generate_one(disk: int) -> "RecoveryScheme":
     """Process-pool worker: generate one disk's scheme (top-level so it
-    pickles)."""
-    return _WORKER_PLANNER._generate(disk)
+    pickles).
+
+    Failures are re-raised with the disk id attached — a bare worker
+    traceback surfacing through ``pool.map`` otherwise gives no hint which
+    of the fanned-out searches blew up.
+    """
+    try:
+        return _WORKER_PLANNER._generate(disk)
+    except Exception as exc:
+        raise RuntimeError(
+            f"scheme generation failed for disk {disk}: {exc!r}"
+        ) from exc
 
 
 class RecoveryPlanner:
@@ -115,7 +125,7 @@ class RecoveryPlanner:
                     self._cache[d] = self._generate(d)
             else:
                 with ProcessPoolExecutor(
-                    max_workers=workers,
+                    max_workers=min(workers, len(todo)),
                     initializer=_init_worker,
                     initargs=(
                         self.code, self.algorithm, self.depth,
@@ -157,6 +167,18 @@ class RecoveryPlanner:
             raise ValueError(
                 f"plan file is for algorithm {payload['algorithm']!r}, "
                 f"planner uses {self.algorithm!r}"
+            )
+        file_code = payload.get("code")
+        if file_code is not None and file_code != self.code.describe():
+            raise ValueError(
+                f"plan file is for code {file_code!r}, "
+                f"planner uses {self.code.describe()!r}"
+            )
+        file_depth = payload.get("depth")
+        if file_depth is not None and file_depth != self.depth:
+            raise ValueError(
+                f"plan file was generated at depth {file_depth}, "
+                f"planner uses depth {self.depth}"
             )
         for disk_str, raw in payload["schemes"].items():
             scheme = RecoveryScheme(

@@ -64,6 +64,38 @@ class TestArraySimulator:
         )
 
 
+class TestFaultPlanTiming:
+    def test_slow_disk_inflates_its_read_time(self, rdp7):
+        from repro.faults import FaultPlan, SlowDisk
+
+        lay = rdp7.layout
+        clean = DiskArraySimulator(lay.n_disks)
+        sim = DiskArraySimulator(
+            lay.n_disks, fault_plan=FaultPlan([SlowDisk(2, 3.0)])
+        )
+        mask = lay.element_mask([(2, 0), (3, 0)])
+        t_clean = clean.per_disk_read_times(lay, mask)
+        t_slow = sim.per_disk_read_times(lay, mask)
+        assert t_slow[2] == pytest.approx(3.0 * t_clean[2])
+        assert t_slow[3] == pytest.approx(t_clean[3])
+
+    def test_lse_adds_failed_attempt_cost(self, rdp7):
+        from repro.faults import FaultPlan, LatentSectorError
+
+        lay = rdp7.layout
+        plan = FaultPlan([LatentSectorError(1, 0, stripe=0)])
+        clean = DiskArraySimulator(lay.n_disks)
+        sim = DiskArraySimulator(lay.n_disks, fault_plan=plan)
+        mask = lay.element_mask([(1, 0)])
+        # the faulted stripe pays a retry penalty; other stripes do not
+        assert sim.stripe_recovery_time(
+            lay, mask, stripe=0
+        ) > clean.stripe_recovery_time(lay, mask, stripe=0)
+        assert sim.stripe_recovery_time(lay, mask, stripe=1) == pytest.approx(
+            clean.stripe_recovery_time(lay, mask, stripe=1)
+        )
+
+
 class TestStackRecovery:
     def test_balanced_scheme_recovers_faster(self, rdp7):
         schemes_u = RecoveryPlanner(rdp7, "u").all_data_disk_schemes()

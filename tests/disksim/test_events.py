@@ -41,6 +41,39 @@ class TestWorkload:
             PoissonWorkload(1, 0, 4)
 
 
+class TestFaultPlanQueueing:
+    def test_slow_disk_delays_recovery_finish(self, rdp5):
+        from repro.faults import FaultPlan, SlowDisk
+
+        schemes = [u_scheme(rdp5, 0)]
+        # slow down a disk the plan reads from
+        disk = next(
+            d for d, _ in rdp5.layout.iter_elements(schemes[0].read_mask)
+        )
+        clean = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, schemes, stripes=6
+        )
+        degraded = EventDrivenArray(
+            rdp5.layout.n_disks,
+            fault_plan=FaultPlan([SlowDisk(disk, 5.0)]),
+        ).run_online_recovery(rdp5, schemes, stripes=6)
+        assert degraded.recovery_finish_s > clean.recovery_finish_s
+
+    def test_persistent_lse_delays_recovery_finish(self, rdp5):
+        from repro.faults import FaultPlan, LatentSectorError
+
+        schemes = [u_scheme(rdp5, 0)]
+        disk, row = next(rdp5.layout.iter_elements(schemes[0].read_mask))
+        clean = EventDrivenArray(rdp5.layout.n_disks).run_online_recovery(
+            rdp5, schemes, stripes=6
+        )
+        degraded = EventDrivenArray(
+            rdp5.layout.n_disks,
+            fault_plan=FaultPlan([LatentSectorError(disk, row)]),
+        ).run_online_recovery(rdp5, schemes, stripes=6)
+        assert degraded.recovery_finish_s > clean.recovery_finish_s
+
+
 class TestOnlineRecovery:
     def test_idle_array_matches_scheme_shape(self, rdp5):
         """Without user traffic, balanced schemes finish sooner."""

@@ -1,0 +1,101 @@
+"""Tests for fault plans and the --inject spec grammar."""
+
+import pytest
+
+from repro.faults import (
+    DiskFailure,
+    FaultPlan,
+    LatentSectorError,
+    SilentCorruption,
+    SlowDisk,
+    parse_fault,
+)
+
+
+class TestQueries:
+    def test_empty_plan_is_clean(self):
+        plan = FaultPlan()
+        assert not plan
+        assert not plan.lse_at(0, 1, 2)
+        assert not plan.corrupt_at(0, 1, 2)
+        assert plan.slow_factor(3) == 1.0
+        assert plan.death_stripe(0) is None
+        assert plan.describe() == "no faults"
+
+    def test_lse_stripe_scoping(self):
+        plan = FaultPlan([LatentSectorError(2, 3, stripe=1)])
+        assert plan.lse_at(1, 2, 3)
+        assert not plan.lse_at(0, 2, 3)
+        assert not plan.lse_at(1, 2, 4)
+        assert not plan.corrupt_at(1, 2, 3)
+
+    def test_lse_all_stripes(self):
+        plan = FaultPlan([LatentSectorError(2, 3)])
+        for s in range(5):
+            assert plan.lse_at(s, 2, 3)
+
+    def test_corruption_query(self):
+        plan = FaultPlan([SilentCorruption(0, 0)])
+        assert plan.corrupt_at(7, 0, 0)
+        assert not plan.lse_at(7, 0, 0)
+
+    def test_slow_factors_compose(self):
+        plan = FaultPlan([SlowDisk(1, 2.0), SlowDisk(1, 3.0), SlowDisk(2, 5.0)])
+        assert plan.slow_factor(1) == pytest.approx(6.0)
+        assert plan.slow_factor(2) == pytest.approx(5.0)
+        assert plan.slow_factor(0) == 1.0
+
+    def test_death_stripe_earliest_wins(self):
+        plan = FaultPlan([DiskFailure(4, 7), DiskFailure(4, 3)])
+        assert plan.death_stripe(4) == 3
+        assert plan.dead_at(4, 3)
+        assert plan.dead_at(4, 10)
+        assert not plan.dead_at(4, 2)
+        assert not plan.dead_at(5, 10)
+
+    def test_element_faults_listing(self):
+        faults = [LatentSectorError(0, 0), SlowDisk(1), SilentCorruption(2, 1)]
+        plan = FaultPlan(faults)
+        assert len(plan.element_faults()) == 2
+        assert len(plan) == 3
+
+    def test_rejects_non_faults(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["not a fault"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowDisk(0, factor=0.0)
+        with pytest.raises(ValueError):
+            DiskFailure(0, at_stripe=-1)
+
+
+class TestParse:
+    def test_lse(self):
+        assert parse_fault("lse:2:3") == LatentSectorError(2, 3, None)
+        assert parse_fault("lse:2:3:5") == LatentSectorError(2, 3, 5)
+
+    def test_corrupt(self):
+        assert parse_fault("corrupt:0:1") == SilentCorruption(0, 1, None)
+
+    def test_slow(self):
+        assert parse_fault("slow:4") == SlowDisk(4, 4.0)
+        assert parse_fault("slow:4:2.5") == SlowDisk(4, 2.5)
+
+    def test_die(self):
+        assert parse_fault("die:3") == DiskFailure(3, 0)
+        assert parse_fault("die:3:6") == DiskFailure(3, 6)
+
+    def test_plan_parse(self):
+        plan = FaultPlan.parse(["lse:1:0", "die:2:4"])
+        assert plan.lse_at(9, 1, 0)
+        assert plan.death_stripe(2) == 4
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "nope:1:2", "lse:1", "lse:1:2:3:4", "slow", "slow:1:x",
+         "die:one", "corrupt:0"],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError, match="bad fault spec|unknown"):
+            parse_fault(bad)

@@ -7,6 +7,7 @@ from repro.codec import StripeCodec
 from repro.codes import RdpCode, StarCode
 from repro.recovery.escalation import escalated_scheme, execute_escalated
 from repro.recovery.multifailure import UnrecoverableError, recover_failure
+from repro.recovery.scheme import RecoveryScheme
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +92,55 @@ class TestExecution:
         scheme = escalated_scheme(rdp7, 0, [1], 4)
         with pytest.raises(KeyError, match="in-memory"):
             execute_escalated(scheme, stripe, {})
+
+    def test_out_of_order_sentinel_dependency(self, rdp7, stripe):
+        """Slots are resolved by dependency, not list position.
+
+        Reverse a real escalated plan so the sentinel slots other equations
+        lean on come *last* — a list-order executor KeyErrors on the first
+        equation referencing a not-yet-materialised sentinel."""
+        import dataclasses
+
+        lay = rdp7.layout
+        done_rows = [0, 1, 2]
+        scheme = escalated_scheme(rdp7, 0, done_rows, 4)
+        sentinels = {lay.eid(0, r) for r in done_rows}
+        sentinel_mask = 0
+        for e in sentinels:
+            sentinel_mask |= 1 << e
+        # the plan genuinely leans on a sentinel from a non-sentinel slot
+        assert any(
+            eq & sentinel_mask and f not in sentinels
+            for f, eq in zip(scheme.failed_eids, scheme.equations)
+        )
+        shuffled = dataclasses.replace(
+            scheme,
+            failed_eids=list(reversed(scheme.failed_eids)),
+            equations=list(reversed(scheme.equations)),
+        )
+        in_memory = {e: stripe[e].copy() for e in sentinels}
+        out = execute_escalated(shuffled, stripe, in_memory)
+        for f in scheme.failed_eids:
+            assert np.array_equal(out[f], stripe[f])
+
+    def test_unresolvable_plan_names_the_stuck_elements(self, rdp7, stripe):
+        """Two slots waiting on each other is a planning bug; the executor
+        reports which elements are stuck instead of a bare KeyError."""
+        lay = rdp7.layout
+        a, b = lay.eid(0, 0), lay.eid(0, 1)
+        surv = 1 << lay.eid(1, 0)
+        circular = RecoveryScheme(
+            layout=lay,
+            failed_mask=(1 << a) | (1 << b),
+            failed_eids=[a, b],
+            equations=[(1 << a) | (1 << b) | surv,
+                       (1 << b) | (1 << a) | surv],
+            read_mask=surv,
+            algorithm="test",
+        )
+        with pytest.raises(ValueError, match="not executable") as exc:
+            execute_escalated(circular, stripe, {})
+        assert str(a) in str(exc.value) and str(b) in str(exc.value)
 
     def test_star_triple_escalation(self):
         """STAR mid-rebuild of one disk survives two more failures."""

@@ -56,6 +56,57 @@ class TestPlanner:
         with pytest.raises(ValueError, match="algorithm"):
             other.load(path)
 
+    def test_load_rejects_code_mismatch(self, code, tmp_path):
+        """A plan file saved for one code must not load into a planner for
+        a different geometry — the schemes would silently be wrong."""
+        planner = RecoveryPlanner(code, algorithm="u")
+        planner.scheme_for_disk(0)
+        path = tmp_path / "plans.json"
+        planner.save(path)
+
+        other_code = RdpCode(7)
+        other = RecoveryPlanner(other_code, algorithm="u")
+        with pytest.raises(ValueError) as exc:
+            other.load(path)
+        # the error names both geometries
+        assert code.describe() in str(exc.value)
+        assert other_code.describe() in str(exc.value)
+
+    def test_load_rejects_different_family_same_width(self, tmp_path):
+        from repro.codes import EvenOddCode
+
+        a = RecoveryPlanner(RdpCode(7), algorithm="u")
+        a.scheme_for_disk(0)
+        path = tmp_path / "plans.json"
+        a.save(path)
+        b = RecoveryPlanner(EvenOddCode(7), algorithm="u")
+        with pytest.raises(ValueError, match="code"):
+            b.load(path)
+
+    def test_load_rejects_depth_mismatch(self, code, tmp_path):
+        planner = RecoveryPlanner(code, algorithm="u", depth=1)
+        planner.scheme_for_disk(0)
+        path = tmp_path / "plans.json"
+        planner.save(path)
+        other = RecoveryPlanner(code, algorithm="u", depth=2)
+        with pytest.raises(ValueError) as exc:
+            other.load(path)
+        assert "depth 1" in str(exc.value) and "depth 2" in str(exc.value)
+
+    def test_load_accepts_legacy_payload_without_geometry(self, code, tmp_path):
+        """Plan files from before the code/depth stamps still load."""
+        import json
+
+        planner = RecoveryPlanner(code, algorithm="u")
+        planner.scheme_for_disk(0)
+        path = tmp_path / "plans.json"
+        planner.save(path)
+        payload = json.loads(path.read_text())
+        del payload["code"], payload["depth"]
+        path.write_text(json.dumps(payload))
+        fresh = RecoveryPlanner(code, algorithm="u")
+        assert fresh.load(path) == 1
+
     def test_parallel_generation_matches_sequential(self, code):
         seq = RecoveryPlanner(code, algorithm="u", depth=1)
         par = RecoveryPlanner(code, algorithm="u", depth=1)
@@ -75,6 +126,36 @@ class TestPlanner:
 
         with _pytest.raises(ValueError):
             planner.generate_all_parallel(workers=0)
+
+    def test_parallel_caps_workers_at_todo(self, code):
+        """More workers than remaining disks must not spawn idle
+        processes — and the run still completes correctly."""
+        planner = RecoveryPlanner(code, algorithm="u", depth=1)
+        # pre-fill all but one disk so todo == 1
+        for d in range(code.layout.n_disks - 1):
+            planner.scheme_for_disk(d)
+        schemes = planner.generate_all_parallel(workers=8)
+        assert len(schemes) == code.layout.n_disks
+
+    def test_worker_failure_names_the_disk(self, code):
+        """A worker exception carries the disk id instead of surfacing as
+        an opaque pool traceback."""
+        from repro.recovery import planner as planner_mod
+
+        planner_mod._init_worker(code, "u", 1, None)
+
+        def boom(disk):
+            raise RuntimeError("search exploded")
+
+        original = planner_mod.RecoveryPlanner._generate
+        planner_mod.RecoveryPlanner._generate = (
+            lambda self, disk: boom(disk)
+        )
+        try:
+            with pytest.raises(RuntimeError, match="disk 3"):
+                planner_mod._generate_one(3)
+        finally:
+            planner_mod.RecoveryPlanner._generate = original
 
     def test_loaded_schemes_validate(self, code, tmp_path):
         planner = RecoveryPlanner(code, algorithm="u")

@@ -78,6 +78,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[ok]" in out and "fault tolerance=3" in out
 
+    def test_recover_clean(self, capsys):
+        assert main(["recover", "--family", "rdp", "--disks", "7",
+                     "--failed-disk", "0", "--stripes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no faults" in out
+        assert "recovered data byte-exact" in out
+
+    def test_recover_with_injected_faults(self, capsys):
+        assert main(["recover", "--family", "rdp", "--disks", "7",
+                     "--failed-disk", "0", "--stripes", "3",
+                     "--inject", "lse:2:1:0", "--inject", "die:4:2"]) == 0
+        out = capsys.readouterr().out
+        assert "latent sector error" in out
+        assert "ESCALATED at stripe 2" in out
+        assert "recovered data byte-exact" in out
+
+    def test_recover_bad_spec_exits_2(self, capsys):
+        assert main(["recover", "--family", "rdp", "--disks", "7",
+                     "--failed-disk", "0", "--inject", "nope:1:2"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_recover_beyond_tolerance_exits_1(self, capsys):
+        assert main(["recover", "--family", "rdp", "--disks", "7",
+                     "--failed-disk", "0", "--stripes", "3",
+                     "--inject", "die:2:1", "--inject", "die:3:2"]) == 1
+        assert "UNRECOVERABLE" in capsys.readouterr().out
+
     def test_report_small(self, capsys, tmp_path):
         out_file = tmp_path / "r.md"
         assert main(["report", "--min-disks", "7", "--max-disks", "7",

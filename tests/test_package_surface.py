@@ -7,8 +7,8 @@ import pytest
 
 import repro
 
-SUBPACKAGES = ["gf2", "codes", "equations", "recovery", "codec", "disksim",
-               "analysis"]
+SUBPACKAGES = ["gf2", "codes", "equations", "recovery", "codec", "faults",
+               "disksim", "analysis"]
 
 
 def _walk_modules():
