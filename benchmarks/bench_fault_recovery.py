@@ -34,6 +34,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.codec import StripeCodec  # noqa: E402
 from repro.codes import make_code  # noqa: E402
 from repro.disksim import DiskArraySimulator  # noqa: E402
@@ -79,6 +80,13 @@ def rebuild_time(
 
 
 def run(args) -> Dict:
+    """Run the whole inflation grid with the obs recorder enabled.
+
+    The per-stage wall-clock breakdown and the executor/ disksim counters
+    (retries, substitutions, escalations, per-disk busy seconds) land in
+    the returned payload under ``stages``; the benchmark's headline
+    numbers are simulated times, so tracing does not perturb them.
+    """
     code = make_code(args.family, args.disks)
     lay = code.layout
     codec = StripeCodec(code, args.element_size)
@@ -103,7 +111,8 @@ def run(args) -> Dict:
                 algorithm="u" if alg == "c" else alg,
                 depth=args.depth,
             )
-            result = executor.run()
+            with obs.span("bench.fault_case", algorithm=alg, fault=name):
+                result = executor.run()
             if not result.verify_against(stripes):
                 raise AssertionError(
                     f"{alg}/{name}: recovered bytes differ from originals"
@@ -173,8 +182,20 @@ def main(argv=None) -> int:
     parser.add_argument("--depth", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, help="also write JSON here")
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="also write the run's full JSONL trace here",
+    )
     args = parser.parse_args(argv)
-    payload = run(args)
+    rec = obs.enable(label=f"bench_fault_recovery {args.family}@{args.disks}")
+    try:
+        payload = run(args)
+        payload["stages"] = obs.breakdown_dict(rec)
+        if args.trace_out is not None:
+            n_lines = obs.export_jsonl(rec, args.trace_out)
+            print(f"trace: {args.trace_out} ({n_lines} lines)")
+    finally:
+        obs.disable()
     print_table(payload)
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2))

@@ -30,8 +30,16 @@ JSON schema (see docs/performance.md)::
                    "geomean_wall_ms": ...},
       "current":  {... same shape ...},
       "speedup":  {"geomean": ..., "per_algorithm": {...},
-                   "min": ..., "max": ...}
+                   "min": ..., "max": ...},
+      "stages":   {"stages": [...], "counters": {...}, "gauges": {...}}
     }
+
+The ``stages`` key is a :func:`repro.obs.breakdown_dict` stage breakdown
+from a separate traced pass (one ``bench.point`` span per family at its
+widest grid instance, cold enumeration caches) — the timing measurements
+themselves always run with the recorder off so ``wall_ms`` stays clean.
+``--trace-out PATH`` additionally writes that pass's full JSONL trace;
+``--no-stages`` skips the pass entirely.
 """
 
 from __future__ import annotations
@@ -100,6 +108,46 @@ def measure_grid(
     return points
 
 
+def measure_stages(
+    families: List[str],
+    min_disks: int,
+    max_disks: int,
+    depth: int,
+    trace_out: Optional[Path] = None,
+) -> Dict:
+    """One traced scheme-generation pass per family (widest instance).
+
+    Returns the stage breakdown to embed in the JSON payload; optionally
+    writes the full JSONL trace.  Enumeration caches are cleared per
+    family so the enumeration stages show up instead of hitting the
+    cache warmed by the timing pass.
+    """
+    from repro import obs
+    from repro.equations.enumerate import clear_enumeration_caches
+
+    rec = obs.enable(label="bench_search_perf stage pass")
+    try:
+        for family in families:
+            for n in range(max_disks, min_disks - 1, -1):
+                try:
+                    code = make_code(family, n)
+                    break
+                except ValueError:
+                    continue
+            else:
+                continue
+            clear_enumeration_caches()
+            with obs.span("bench.point", family=family, n_disks=n):
+                for fn in ALGORITHMS.values():
+                    fn(code, 0, depth=depth)
+        if trace_out is not None:
+            n_lines = obs.export_jsonl(rec, trace_out)
+            print(f"stage trace: {trace_out} ({n_lines} lines)")
+        return obs.breakdown_dict(rec)
+    finally:
+        obs.disable()
+
+
 def geomean(values: List[float]) -> float:
     values = [max(v, 1e-9) for v in values]
     return math.exp(sum(math.log(v) for v in values) / len(values))
@@ -154,6 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_search.json"
     )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="also write the stage pass's full JSONL trace here",
+    )
+    parser.add_argument(
+        "--no-stages", action="store_true",
+        help="skip the traced stage-breakdown pass",
+    )
     args = parser.parse_args(argv)
 
     grid = QUICK_GRID if args.quick else FULL_GRID
@@ -174,6 +230,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats=args.repeats, quick=args.quick,
     )
     payload[("baseline" if args.as_baseline else "current")] = section
+    if not args.no_stages:
+        payload["stages"] = measure_stages(
+            grid["families"], grid["min_disks"], grid["max_disks"],
+            args.depth, trace_out=args.trace_out,
+        )
     if "baseline" in payload and "current" in payload:
         speedup = compute_speedup(payload["baseline"], payload["current"])
         if speedup is not None:

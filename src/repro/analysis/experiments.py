@@ -156,6 +156,8 @@ def aggregate_improvements(
                 else:
                     # speed s = work/t; time reduction = 1 - b/a
                     gains.append((1.0 - b / a) * 100.0)
+        if not gains:
+            raise ValueError("no data points")
         out[alg] = {
             "max_percent": max(gains),
             "mean_percent": sum(gains) / len(gains),

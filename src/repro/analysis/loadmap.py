@@ -52,6 +52,8 @@ def render_load_map(
 
 def balance_summary(matrix: Sequence[Sequence[int]]) -> Dict[str, float]:
     """Aggregate balance statistics of a load matrix."""
+    if not matrix:
+        raise ValueError("no data points")
     maxima = [max(row) for row in matrix]
     totals = [sum(row) for row in matrix]
     return {

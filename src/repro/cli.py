@@ -18,13 +18,25 @@ Subcommands
     latent sector errors / silent corruption / slow disks / a second disk
     death (``--inject``), recover through the resilient executor, verify
     byte-exactness and print the fault report.
+``trace``
+    Run the scheme pipeline (enumerate, search, verify, simulate) with
+    the :mod:`repro.obs` recorder enabled and write a JSONL trace;
+    ``trace --validate FILE`` checks an existing trace against the
+    schema.
+
+The global ``--profile`` flag (before the subcommand) enables tracing for
+any subcommand and prints a stage-breakdown table when it finishes.
+
+Error contract: an unknown code family, invalid geometry, or any other
+:class:`ValueError` raised by a subcommand prints a one-line ``error:``
+message to stderr and exits with status 2 — never a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis import (
     SchemeCache,
@@ -222,6 +234,49 @@ def _cmd_recover(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.disksim.recovery_sim import simulate_stack_recovery as sim
+
+    if args.validate:
+        try:
+            counts = obs.validate_trace_file(args.validate)
+        except (OSError, ValueError) as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+        total = sum(counts.values())
+        detail = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(
+            f"{args.validate}: valid {obs.TRACE_SCHEMA} trace, "
+            f"{total} lines ({detail})"
+        )
+        return 0
+
+    code = make_code(args.family, args.disks)
+    rec = obs.enable(
+        label=f"{args.family}@{args.disks} disk {args.failed_disk} "
+        f"({args.algorithm})"
+    )
+    try:
+        with obs.span("trace.pipeline"):
+            kwargs = {} if args.algorithm == "naive" else {"depth": args.depth}
+            scheme = scheme_for_disk(
+                code, args.failed_disk, algorithm=args.algorithm, **kwargs
+            )
+            with obs.span("trace.verify"):
+                ok = verify_scheme_on_random_data(code, scheme, seed=0)
+            with obs.span("trace.simulate", stacks=args.stacks):
+                sim(code, [scheme], stacks=args.stacks)
+        n_lines = obs.export_jsonl(rec, args.out)
+    finally:
+        obs.disable()
+    print(code.describe())
+    print(scheme.summary())
+    print("verify  : " + ("byte-exact" if ok else "MISMATCH"))
+    print(f"trace written to {args.out} ({n_lines} lines)")
+    return 0 if ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -246,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-recovery",
         description="Load-balanced recovery schemes for any erasure code "
         "(Luo & Shu, ICPP 2013 reproduction)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the subcommand with repro.obs and print a "
+        "stage-breakdown table when it finishes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -308,6 +369,22 @@ def build_parser() -> argparse.ArgumentParser:
         "corrupt:DISK:ROW[:STRIPE] | slow:DISK[:FACTOR] | die:DISK[:STRIPE]",
     )
 
+    p = sub.add_parser(
+        "trace", help="write a JSONL pipeline trace (or validate one)"
+    )
+    _add_code_args(p)
+    p.add_argument("--failed-disk", type=int, default=0)
+    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--stacks", type=int, default=4)
+    p.add_argument("--out", default="trace.jsonl", help="JSONL output path")
+    p.add_argument(
+        "--validate",
+        metavar="FILE",
+        default=None,
+        help="validate an existing trace file instead of generating one",
+    )
+
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--min-disks", type=int, default=7)
     p.add_argument("--max-disks", type=int, default=16)
@@ -318,31 +395,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_COMMANDS: Dict[str, Callable] = {
+    "families": _cmd_families,
+    "scheme": _cmd_scheme,
+    "verify": _cmd_verify,
+    "simulate": _cmd_simulate,
+    "figure3": lambda args: _figure_cmd(args, 3),
+    "figure4": lambda args: _figure_cmd(args, 4),
+    "validate": _cmd_validate,
+    "stats": _cmd_stats,
+    "degraded": _cmd_degraded,
+    "recover": _cmd_recover,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "families":
-        return _cmd_families(args)
-    if args.command == "scheme":
-        return _cmd_scheme(args)
-    if args.command == "verify":
-        return _cmd_verify(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "figure3":
-        return _figure_cmd(args, 3)
-    if args.command == "figure4":
-        return _figure_cmd(args, 4)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    if args.command == "degraded":
-        return _cmd_degraded(args)
-    if args.command == "recover":
-        return _cmd_recover(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    raise AssertionError(f"unhandled command {args.command}")
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command}")
+    profile_rec = None
+    if args.profile:
+        from repro import obs
+
+        profile_rec = obs.enable(label=args.command)
+    try:
+        ret = handler(args)
+    except (ValueError, IndexError) as exc:
+        # unknown family, invalid geometry, out-of-range disk/row, ...:
+        # the contract is a one-line message on stderr and exit status 2,
+        # never a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if profile_rec is not None:
+            from repro import obs
+
+            # the trace subcommand installs its own recorder; only print
+            # the profile when ours is still the active one
+            if obs.get_recorder() is profile_rec:
+                obs.disable()
+                print()
+                print(obs.render_breakdown(profile_rec))
+    return ret
 
 
 if __name__ == "__main__":

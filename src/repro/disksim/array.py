@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.codes.layout import CodeLayout
 from repro.disksim.disk import SAVVIO_10K3, DiskParams
 
@@ -89,6 +90,11 @@ class DiskArraySimulator:
                     if self.fault_plan.lse_at(stripe, d, row):
                         t += p.positioning_s + p.element_read_s
             times.append(t * self._slow_factor(d))
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            for d, t in enumerate(times):
+                if t:
+                    recorder.count(f"disksim.busy_s.d{d}", t)
         return times
 
     def stripe_recovery_time(

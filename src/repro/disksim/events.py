@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.codes.base import ErasureCode
 from repro.disksim.disk import SAVVIO_10K3, DiskParams
 from repro.disksim.workload import Request
@@ -210,32 +211,35 @@ class EventDrivenArray:
                 self.disks[req.disk].user_queue.append(req)
                 self._kick(req.disk, t, push)
 
-        while events:
-            now, _, kind, payload = heapq.heappop(events)
-            if kind == "arrival":
-                enqueue_user(payload, now)
-            elif kind == "next_stripe":
-                outstanding = issue_stripe(now)
-            elif kind == "disk_free":
-                disk_id, finished = payload
-                if isinstance(finished, Request):
-                    latencies.append(now - finished.arrival_s)
-                elif isinstance(finished, _Part):
-                    finished.compound.remaining -= 1
-                    if finished.compound.remaining == 0:
-                        latencies.append(now - finished.compound.arrival_s)
-                else:  # a recovery read completed
-                    outstanding -= 1
-                    if outstanding == 0:
-                        recovery_finish = now
-                        if stripe_idx < stripes:
-                            if inter_stripe_delay_s > 0:
-                                push(now + inter_stripe_delay_s,
-                                     "next_stripe", None)
-                            else:
-                                outstanding = issue_stripe(now)
-                self.disks[disk_id].busy_until = now
-                self._kick(disk_id, now, push)
+        with obs.span(
+            "online.recovery", stripes=stripes, user_requests=len(user_requests)
+        ):
+            while events:
+                now, _, kind, payload = heapq.heappop(events)
+                if kind == "arrival":
+                    enqueue_user(payload, now)
+                elif kind == "next_stripe":
+                    outstanding = issue_stripe(now)
+                elif kind == "disk_free":
+                    disk_id, finished = payload
+                    if isinstance(finished, Request):
+                        latencies.append(now - finished.arrival_s)
+                    elif isinstance(finished, _Part):
+                        finished.compound.remaining -= 1
+                        if finished.compound.remaining == 0:
+                            latencies.append(now - finished.compound.arrival_s)
+                    else:  # a recovery read completed
+                        outstanding -= 1
+                        if outstanding == 0:
+                            recovery_finish = now
+                            if stripe_idx < stripes:
+                                if inter_stripe_delay_s > 0:
+                                    push(now + inter_stripe_delay_s,
+                                         "next_stripe", None)
+                                else:
+                                    outstanding = issue_stripe(now)
+                    self.disks[disk_id].busy_until = now
+                    self._kick(disk_id, now, push)
 
         latencies.sort()
         n = len(latencies)
@@ -251,6 +255,12 @@ class EventDrivenArray:
     def _kick(self, disk_id: int, now: float, push) -> None:
         """Start the next queued request on a disk if it is idle."""
         disk = self.disks[disk_id]
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.gauge(
+                f"online.queue_depth.d{disk_id}",
+                len(disk.user_queue) + len(disk.recovery_queue),
+            )
         if disk.busy_until > now:
             return
         if disk.user_queue:
@@ -265,3 +275,7 @@ class EventDrivenArray:
             disk.last_row = row
             disk.busy_until = now + dur
             push(now + dur, "disk_free", (disk_id, row))
+        else:
+            return
+        if recorder is not None:
+            recorder.count(f"online.busy_s.d{disk_id}", dur)

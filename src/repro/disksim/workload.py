@@ -73,8 +73,11 @@ class SequentialScanWorkload:
         self.interval_s = interval_s
 
     def generate(self, duration_s: float) -> List[Request]:
+        """All requests arriving within ``[0, duration_s)``: the scan's
+        first read goes out immediately at ``t = 0.0``, so any positive
+        duration yields at least one request."""
         out = []
-        t = self.interval_s
+        t = 0.0
         i = 0
         while t < duration_s:
             out.append(Request(t, self.disk, i % self.k_rows))

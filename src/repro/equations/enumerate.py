@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.codes.base import ErasureCode
 from repro.codes.layout import CodeLayout
 from repro.equations.calc import combination_closure
@@ -157,8 +158,12 @@ def _cached_closure(equations: Tuple[int, ...], depth: int) -> List[int]:
     cached = _CLOSURE_CACHE.get(key)
     if cached is not None:
         _CLOSURE_CACHE.move_to_end(key)
+        obs.count("enum.closure_cache_hit")
         return cached
-    closure = list(combination_closure(equations, depth))
+    obs.count("enum.closure_cache_miss")
+    with obs.span("enum.closure", depth=depth, n_equations=len(equations)):
+        closure = list(combination_closure(equations, depth))
+    obs.gauge("enum.closure_size", len(closure))
     _CLOSURE_CACHE[key] = closure
     while len(_CLOSURE_CACHE) > _CLOSURE_CACHE_MAX:
         _CLOSURE_CACHE.popitem(last=False)
@@ -273,34 +278,37 @@ def get_recovery_equations(
     cached = _ENUM_CACHE.get(cache_key)
     if cached is not None:
         _ENUM_CACHE.move_to_end(cache_key)
+        obs.count("enum.cache_hit")
         return _copy_rec_eqs(cached)
+    obs.count("enum.cache_miss")
+    with obs.span("enum.enumerate", depth=depth) as enum_span:
+        failed_eids = sorted(
+            d * lay.k_rows + r for d, r in lay.iter_elements(failed_mask)
+        )
+        slot_of = {f: i for i, f in enumerate(failed_eids)}
+        per_slot: List[Dict[int, int]] = [dict() for _ in failed_eids]
 
-    failed_eids = sorted(
-        d * lay.k_rows + r for d, r in lay.iter_elements(failed_mask)
-    )
-    slot_of = {f: i for i, f in enumerate(failed_eids)}
-    per_slot: List[Dict[int, int]] = [dict() for _ in failed_eids]
-
-    for eq in _cached_closure(parity_eqs, depth):
-        fs = eq & failed_mask
-        if not fs:
-            continue
-        # usable exactly when recovering the highest-labelled failed member
-        slot = slot_of[fs.bit_length() - 1]
-        read_mask = eq & ~failed_mask
-        bucket = per_slot[slot]
-        prev = bucket.get(read_mask)
-        if prev is None:
-            bucket[read_mask] = eq
-    options = [_dedupe_and_prune(bucket, lay) for bucket in per_slot]
-    if max_options_per_element is not None:
-        options = [opts[:max_options_per_element] for opts in options]
-    if ensure_complete and any(not opts for opts in options):
-        fallback = gaussian_recovery_equations(code, failed_eids)
-        for i, opts in enumerate(options):
-            if not opts and fallback[i] is not None:
-                eq = fallback[i]
-                options[i] = [EquationOption(eq & ~failed_mask, eq)]
+        for eq in _cached_closure(parity_eqs, depth):
+            fs = eq & failed_mask
+            if not fs:
+                continue
+            # usable exactly when recovering the highest-labelled failed member
+            slot = slot_of[fs.bit_length() - 1]
+            read_mask = eq & ~failed_mask
+            bucket = per_slot[slot]
+            prev = bucket.get(read_mask)
+            if prev is None:
+                bucket[read_mask] = eq
+        options = [_dedupe_and_prune(bucket, lay) for bucket in per_slot]
+        if max_options_per_element is not None:
+            options = [opts[:max_options_per_element] for opts in options]
+        if ensure_complete and any(not opts for opts in options):
+            fallback = gaussian_recovery_equations(code, failed_eids)
+            for i, opts in enumerate(options):
+                if not opts and fallback[i] is not None:
+                    eq = fallback[i]
+                    options[i] = [EquationOption(eq & ~failed_mask, eq)]
+        enum_span.set(options_kept=sum(len(o) for o in options))
     master = RecoveryEquations(
         layout=lay,
         failed_mask=failed_mask,

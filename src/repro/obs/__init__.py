@@ -1,0 +1,80 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and profiling hooks.
+
+The measurement substrate under the whole pipeline: nested wall-clock
+:class:`~repro.obs.recorder.Span` timers, accumulating
+:class:`~repro.obs.recorder.Counter`\\ s, peak-tracking
+:class:`~repro.obs.recorder.Gauge`\\ s, JSONL trace export with a
+versioned schema, and stage-breakdown tables.  Everything is a no-op
+unless a process-wide recorder is installed — instrumented hot paths pay
+one ``None`` check when tracing is off (measured < 5 % on the search
+benchmark; see docs/observability.md).
+
+Quickstart::
+
+    from repro import obs
+
+    rec = obs.enable("my run")
+    with obs.span("encode"):
+        ...
+    obs.count("stripes", 8)
+    print(obs.render_breakdown(rec))
+    obs.export_jsonl(rec, "trace.jsonl")
+    obs.disable()
+
+Setting ``REPRO_TRACE=1`` in the environment installs a recorder at
+import time, so any entry point can be traced without code changes; the
+CLI's global ``--profile`` flag and ``trace`` subcommand build on that.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    export_jsonl,
+    load_trace,
+    trace_lines,
+    validate_trace_file,
+    validate_trace_line,
+)
+from repro.obs.profile import breakdown_dict, render_breakdown, stage_breakdown
+from repro.obs.recorder import (
+    Counter,
+    Gauge,
+    Recorder,
+    Span,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_recorder,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Recorder",
+    "Span",
+    "TRACE_SCHEMA",
+    "breakdown_dict",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "export_jsonl",
+    "gauge",
+    "get_recorder",
+    "load_trace",
+    "render_breakdown",
+    "span",
+    "stage_breakdown",
+    "trace_lines",
+    "validate_trace_file",
+    "validate_trace_line",
+]
+
+if os.environ.get("REPRO_TRACE"):
+    enable(label="REPRO_TRACE=1")

@@ -1,0 +1,207 @@
+"""JSONL trace export and schema validation.
+
+A trace file is newline-delimited JSON: one object per line, each tagged
+with a ``"type"`` field.  The schema (version ``repro-trace/1``) has four
+line types:
+
+``meta``
+    Exactly one, the **first** line of the file::
+
+        {"type": "meta", "schema": "repro-trace/1", "label": str,
+         "created_unix_s": float}
+
+``span``
+    A finished timed region.  ``parent`` is another span's ``id`` or
+    ``null`` for a root; ``t_start_s`` is seconds since the recorder was
+    enabled::
+
+        {"type": "span", "id": int, "parent": int|null, "name": str,
+         "t_start_s": float, "dur_s": float, "attrs": object}
+
+``counter``
+    Final accumulated value of one named counter::
+
+        {"type": "counter", "name": str, "value": number}
+
+``gauge``
+    Last sampled value and observed peak of one named gauge::
+
+        {"type": "gauge", "name": str, "value": number, "peak": number}
+
+The schema is validated structurally by :func:`validate_trace_line` /
+:func:`validate_trace_file` — hand-rolled checks, no external JSON-schema
+dependency, per the zero-dependency rule of this subsystem.  ``python -m
+repro.obs.export --validate FILE`` runs the file validator from the shell
+(the CI trace-smoke leg does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.recorder import Recorder
+
+#: current trace schema identifier, embedded in every file's meta line
+TRACE_SCHEMA = "repro-trace/1"
+
+_NUMBER = (int, float)
+
+
+def trace_lines(rec: Recorder) -> Iterable[Dict[str, Any]]:
+    """The trace-file objects (meta first) for one recorder."""
+    yield {
+        "type": "meta",
+        "schema": TRACE_SCHEMA,
+        "label": rec.label,
+        "created_unix_s": time.time(),
+    }
+    # spans are recorded in close order (children first); emit in open
+    # order so a parent id always precedes its children in the file
+    for s in sorted(rec.spans, key=lambda s: s.span_id):
+        yield {
+            "type": "span",
+            "id": s.span_id,
+            "parent": s.parent_id,
+            "name": s.name,
+            "t_start_s": s.t_start_s,
+            "dur_s": s.dur_s,
+            "attrs": s.attrs,
+        }
+    for c in rec.counters.values():
+        yield {"type": "counter", "name": c.name, "value": c.value}
+    for g in rec.gauges.values():
+        yield {"type": "gauge", "name": g.name, "value": g.value, "peak": g.peak}
+
+
+def export_jsonl(rec: Recorder, path: Union[str, Path]) -> int:
+    """Write one recorder's trace to ``path``; returns the line count."""
+    lines = [json.dumps(obj, sort_keys=True) for obj in trace_lines(rec)]
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def _require(obj: Dict, key: str, types, lineno: int) -> Any:
+    if key not in obj:
+        raise ValueError(f"line {lineno}: missing key {key!r}")
+    val = obj[key]
+    if not isinstance(val, types) or isinstance(val, bool):
+        raise ValueError(
+            f"line {lineno}: key {key!r} has type {type(val).__name__}, "
+            f"expected {types}"
+        )
+    return val
+
+
+def validate_trace_line(obj: Any, lineno: int = 0) -> str:
+    """Check one parsed trace object; returns its type, raises ValueError."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"line {lineno}: not a JSON object")
+    kind = obj.get("type")
+    if kind == "meta":
+        schema = _require(obj, "schema", str, lineno)
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"line {lineno}: unknown schema {schema!r} "
+                f"(expected {TRACE_SCHEMA!r})"
+            )
+        _require(obj, "label", str, lineno)
+        _require(obj, "created_unix_s", _NUMBER, lineno)
+    elif kind == "span":
+        _require(obj, "id", int, lineno)
+        if obj.get("parent") is not None:
+            _require(obj, "parent", int, lineno)
+        _require(obj, "name", str, lineno)
+        _require(obj, "t_start_s", _NUMBER, lineno)
+        _require(obj, "dur_s", _NUMBER, lineno)
+        _require(obj, "attrs", dict, lineno)
+    elif kind == "counter":
+        _require(obj, "name", str, lineno)
+        _require(obj, "value", _NUMBER, lineno)
+    elif kind == "gauge":
+        _require(obj, "name", str, lineno)
+        _require(obj, "value", _NUMBER, lineno)
+        _require(obj, "peak", _NUMBER, lineno)
+    else:
+        raise ValueError(f"line {lineno}: unknown line type {kind!r}")
+    return kind
+
+
+def validate_trace_file(path: Union[str, Path]) -> Dict[str, int]:
+    """Validate a whole JSONL trace; returns per-type line counts.
+
+    Raises :class:`ValueError` on the first structural violation: bad
+    JSON, a non-leading or missing meta line, a span whose parent id was
+    never defined, or any malformed line.
+    """
+    counts: Dict[str, int] = {}
+    seen_span_ids: set = set()
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {lineno}: invalid JSON: {exc}") from None
+            kind = validate_trace_line(obj, lineno)
+            if lineno == 1 and kind != "meta":
+                raise ValueError("line 1: first line must be the meta line")
+            if kind == "meta" and lineno != 1:
+                raise ValueError(f"line {lineno}: duplicate meta line")
+            if kind == "span":
+                parent = obj.get("parent")
+                if parent is not None and parent not in seen_span_ids:
+                    raise ValueError(
+                        f"line {lineno}: span {obj['id']} references "
+                        f"undefined parent {parent}"
+                    )
+                seen_span_ids.add(obj["id"])
+            counts[kind] = counts.get(kind, 0) + 1
+    if counts.get("meta", 0) != 1:
+        raise ValueError("trace has no meta line")
+    return counts
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into a list of objects (no validation)."""
+    out: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if raw:
+                out.append(json.loads(raw))
+    return out
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="validate a repro JSONL trace file",
+    )
+    parser.add_argument("--validate", metavar="FILE", required=True)
+    args = parser.parse_args(argv)
+    try:
+        counts = validate_trace_file(args.validate)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    detail = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{args.validate}: valid {TRACE_SCHEMA} trace, {total} lines ({detail})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

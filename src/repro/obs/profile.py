@@ -1,0 +1,129 @@
+"""Stage-breakdown aggregation and table rendering.
+
+Turns a :class:`~repro.obs.recorder.Recorder`'s span tree into the
+per-stage table the CLI's ``--profile`` flag prints: spans are grouped by
+their *name path* (root span name, then child name, ...), so two hundred
+``search`` spans under ``planner.generate`` collapse into one row with a
+call count, total/self wall time and share of the traced total.
+
+Self time is a stage's total minus the time spent in its (aggregated)
+children — the number that says "the time goes *here*, not merely *below
+here*".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.recorder import Recorder
+
+
+def stage_breakdown(rec: Recorder) -> List[Dict[str, Any]]:
+    """Aggregate spans into stage rows, depth-first in tree order.
+
+    Each row: ``{"path": (names...), "name", "depth", "calls",
+    "total_s", "self_s", "pct"}`` where ``pct`` is the share of the
+    summed root-span time.
+    """
+    by_id = {s.span_id: s for s in rec.spans}
+
+    def path_of(span) -> tuple:
+        names: List[str] = []
+        cur: Optional[int] = span.span_id
+        while cur is not None:
+            s = by_id[cur]
+            names.append(s.name)
+            cur = s.parent_id
+        return tuple(reversed(names))
+
+    agg: Dict[tuple, Dict[str, Any]] = {}
+    for s in rec.spans:
+        p = path_of(s)
+        row = agg.get(p)
+        if row is None:
+            row = agg[p] = {
+                "path": p,
+                "name": p[-1],
+                "depth": len(p) - 1,
+                "calls": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+            }
+        row["calls"] += 1
+        row["total_s"] += s.dur_s
+    # self time: subtract each aggregated child's total from its parent
+    for p, row in agg.items():
+        row["self_s"] = row["total_s"]
+    for p, row in agg.items():
+        parent = agg.get(p[:-1])
+        if parent is not None:
+            parent["self_s"] -= row["total_s"]
+    root_total = sum(r["total_s"] for p, r in agg.items() if len(p) == 1)
+    rows = sorted(agg.values(), key=lambda r: r["path"])
+    for row in rows:
+        row["pct"] = (row["total_s"] / root_total * 100.0) if root_total else 0.0
+        if row["self_s"] < 0.0:  # float jitter on zero-width spans
+            row["self_s"] = 0.0
+    return rows
+
+
+def render_breakdown(
+    rec: Recorder,
+    include_counters: bool = True,
+    min_pct: float = 0.0,
+) -> str:
+    """The human-readable stage table (plus counters and gauges)."""
+    rows = stage_breakdown(rec)
+    title = f"stage breakdown{f' — {rec.label}' if rec.label else ''}"
+    lines = [title]
+    header = (
+        f"{'stage':40s} {'calls':>7s} {'total_ms':>10s} "
+        f"{'self_ms':>10s} {'%':>6s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not rows:
+        lines.append("(no spans recorded)")
+    for row in rows:
+        if row["pct"] < min_pct and row["depth"] > 0:
+            continue
+        label = "  " * row["depth"] + row["name"]
+        lines.append(
+            f"{label:40s} {row['calls']:7d} {row['total_s'] * 1e3:10.2f} "
+            f"{row['self_s'] * 1e3:10.2f} {row['pct']:6.1f}"
+        )
+    if include_counters and rec.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(rec.counters):
+            value = rec.counters[name].value
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:38s} {shown:>12s}")
+    if include_counters and rec.gauges:
+        lines.append("")
+        lines.append("gauges (last/peak):")
+        for name in sorted(rec.gauges):
+            g = rec.gauges[name]
+            lines.append(f"  {name:38s} {g.value:12.6g} {g.peak:12.6g}")
+    return "\n".join(lines)
+
+
+def breakdown_dict(rec: Recorder) -> Dict[str, Any]:
+    """JSON-embeddable stage summary (benchmark files use this)."""
+    return {
+        "stages": [
+            {
+                "path": "/".join(row["path"]),
+                "calls": row["calls"],
+                "total_ms": round(row["total_s"] * 1e3, 4),
+                "self_ms": round(row["self_s"] * 1e3, 4),
+                "pct": round(row["pct"], 2),
+            }
+            for row in stage_breakdown(rec)
+        ],
+        "counters": {c.name: c.value for c in rec.counters.values()},
+        "gauges": {
+            g.name: {"value": g.value, "peak": g.peak}
+            for g in rec.gauges.values()
+        },
+    }

@@ -18,6 +18,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.codes.base import ErasureCode
 from repro.recovery.calgorithm import c_scheme
 from repro.recovery.khan import khan_scheme
@@ -83,14 +84,16 @@ class RecoveryPlanner:
         return self._cache[disk]
 
     def _generate(self, disk: int) -> RecoveryScheme:
-        if self.algorithm == "naive":
-            return naive_scheme(self.code, disk)
-        kwargs = dict(depth=self.depth, max_expansions=self.max_expansions)
-        if self.algorithm == "khan":
-            return khan_scheme(self.code, disk, **kwargs)
-        if self.algorithm == "c":
-            return c_scheme(self.code, disk, **kwargs)
-        return u_scheme(self.code, disk, **kwargs)
+        with obs.span("planner.generate", disk=disk, algorithm=self.algorithm):
+            obs.count("planner.schemes_generated")
+            if self.algorithm == "naive":
+                return naive_scheme(self.code, disk)
+            kwargs = dict(depth=self.depth, max_expansions=self.max_expansions)
+            if self.algorithm == "khan":
+                return khan_scheme(self.code, disk, **kwargs)
+            if self.algorithm == "c":
+                return c_scheme(self.code, disk, **kwargs)
+            return u_scheme(self.code, disk, **kwargs)
 
     def all_data_disk_schemes(self) -> List[RecoveryScheme]:
         """Schemes for every user-data disk (the paper's Fig. 3/4 setup)."""
@@ -124,17 +127,42 @@ class RecoveryPlanner:
                 for d in todo:
                     self._cache[d] = self._generate(d)
             else:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(todo)),
-                    initializer=_init_worker,
-                    initargs=(
-                        self.code, self.algorithm, self.depth,
-                        self.max_expansions,
-                    ),
-                ) as pool:
-                    for d, scheme in zip(todo, pool.map(_generate_one, todo)):
-                        self._cache[d] = scheme
+                n_workers = min(workers, len(todo))
+                with obs.span(
+                    "planner.parallel", workers=n_workers, disks=len(todo)
+                ):
+                    obs.count("planner.parallel_workers", n_workers)
+                    with ProcessPoolExecutor(
+                        max_workers=n_workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            self.code, self.algorithm, self.depth,
+                            self.max_expansions,
+                        ),
+                    ) as pool:
+                        for d, scheme in zip(todo, pool.map(_generate_one, todo)):
+                            self._cache[d] = scheme
+                            self._publish_worker_stats(scheme)
         return [self._cache[d] for d in disks]
+
+    @staticmethod
+    def _publish_worker_stats(scheme: RecoveryScheme) -> None:
+        """Fold a pool worker's search effort into the parent recorder.
+
+        Workers run in separate processes, so their own recorders (if any)
+        die with them; the stats ride back on the scheme metadata.
+        """
+        recorder = obs.get_recorder()
+        raw = scheme.search_stats
+        if recorder is None or raw is None:
+            return
+        from repro.recovery.search import SearchStats
+
+        known = {
+            k: v for k, v in raw.items() if k in SearchStats.__dataclass_fields__
+        }
+        SearchStats(**known).publish(recorder)
+        recorder.count("planner.schemes_generated")
 
     # ------------------------------------------------------------------
     # persistence

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.codec.verify import element_checksum
 from repro.codes.base import ErasureCode
 from repro.equations.enumerate import get_recovery_equations
@@ -133,10 +134,14 @@ class ResilientExecutor:
         :class:`UnrecoverableError` only when the fault load exceeds the
         code's tolerance (e.g. a third disk death)."""
         recovered: List[Dict[int, np.ndarray]] = []
-        for s in range(self.store.n_stripes):
-            recovered.append(self._recover_stripe(s))
-            self.report.stripes_processed += 1
+        with obs.span("executor.run", n_stripes=self.store.n_stripes):
+            for s in range(self.store.n_stripes):
+                with obs.span("executor.stripe", stripe=s):
+                    recovered.append(self._recover_stripe(s))
+                self.report.stripes_processed += 1
         self.report.elements_read = self.store.total_read_attempts
+        obs.count("executor.stripes", self.report.stripes_processed)
+        obs.count("executor.elements_read", self.report.elements_read)
         return ResilientResult(recovered, self.report)
 
     # ------------------------------------------------------------------
@@ -210,6 +215,7 @@ class ResilientExecutor:
             max_expansions=self.max_expansions,
         )
         self.secondary_disk = dead_disk
+        obs.count("executor.escalations")
         self.report.escalations.append(
             {
                 "stripe": s,
@@ -303,8 +309,10 @@ class ResilientExecutor:
                 if attempt < self.max_retries:
                     attempt += 1
                     self.report.record_retry(disk)
+                    obs.count("executor.retries")
                     continue
                 self.report.latent_errors += 1
+                obs.count("executor.latent_errors")
                 self._bad_eids[eid] = "latent sector error"
                 raise ElementUnreadable(eid, "latent sector error") from None
             self._stripe_read_mask |= 1 << eid
@@ -314,8 +322,10 @@ class ResilientExecutor:
             if attempt < self.max_retries:
                 attempt += 1
                 self.report.record_retry(disk)
+                obs.count("executor.retries")
                 continue
             self.report.corruptions_detected += 1
+            obs.count("executor.corruptions")
             self._bad_eids[eid] = "checksum mismatch"
             raise ElementUnreadable(eid, "checksum mismatch")
 
@@ -356,6 +366,7 @@ class ResilientExecutor:
                 deps = opt.equation & ext_mask & ~(1 << f)
                 if deps & ~available:
                     continue
+                obs.count("executor.substitutions")
                 self.report.substitutions.append(
                     {
                         "stripe": s,

@@ -68,6 +68,7 @@ from dataclasses import asdict, dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.codes.layout import CodeLayout
 from repro.equations.enumerate import RecoveryEquations
 from repro.recovery import ckernel
@@ -311,8 +312,27 @@ class SearchStats:
     pruned_dominated: int = 0    #: successors dropped by subset dominance
     dominance_checks: int = 0    #: dominance-index probes (hit + miss)
     peak_frontier: int = 0       #: largest frontier (heap) size reached
+    bucket_transitions: int = 0  #: frontier-key (rec_list bucket) advances;
+                                 #: tracked only while tracing is enabled
     wall_time_s: float = 0.0     #: wall-clock time of the whole search
     budget_exhausted: bool = False
+
+    def publish(self, rec: "obs.Recorder") -> None:
+        """Fold these counters into an :mod:`repro.obs` recorder.
+
+        This is the bridge that unifies the engine's ad-hoc counters with
+        the process-wide metrics stream: every traced search accumulates
+        into the same ``search.*`` counter family.
+        """
+        rec.count("search.runs")
+        rec.count("search.expanded", self.expanded)
+        rec.count("search.pushed", self.pushed)
+        rec.count("search.pruned_closed", self.pruned_closed)
+        rec.count("search.pruned_dominated", self.pruned_dominated)
+        rec.count("search.bucket_transitions", self.bucket_transitions)
+        if self.budget_exhausted:
+            rec.count("search.budget_exhausted")
+        rec.gauge("search.peak_frontier", self.peak_frontier)
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -412,8 +432,35 @@ def generate_scheme(
         dedup already collapses the union lattice and dominance prunes no
         additional states while costing a probe per push — see
         ``benchmarks/bench_ablation_pruning.py``.
+
+    With an :mod:`repro.obs` recorder enabled, the run is wrapped in a
+    ``search.generate`` span, its :class:`SearchStats` accumulate into the
+    ``search.*`` counters, and the engine additionally tracks frontier-key
+    bucket transitions (the paper's ``rec_list[r]`` sublist advances).
     """
+    recorder = obs.get_recorder()
+    if recorder is None:
+        return _generate_scheme(
+            rec_eqs, cost_fn, algorithm, max_expansions, dominance_limit
+        )
+    with recorder.span(
+        "search.generate", algorithm=algorithm, n_failed=rec_eqs.n_failed
+    ):
+        return _generate_scheme(
+            rec_eqs, cost_fn, algorithm, max_expansions, dominance_limit
+        )
+
+
+def _generate_scheme(
+    rec_eqs: RecoveryEquations,
+    cost_fn: CostFn,
+    algorithm: str,
+    max_expansions: Optional[int],
+    dominance_limit: int,
+) -> RecoveryScheme:
+    """The engine proper (see :func:`generate_scheme`)."""
     t_start = time.perf_counter()
+    trace_on = obs.enabled()
     if not rec_eqs.is_complete():
         missing = [
             rec_eqs.failed_eids[i]
@@ -462,6 +509,9 @@ def generate_scheme(
             stats.pruned_closed = counters["pruned_closed"]
             stats.peak_frontier = counters["peak_frontier"]
             stats.wall_time_s = time.perf_counter() - t_start
+            if trace_on:
+                obs.count("search.ckernel_runs")
+                stats.publish(obs.get_recorder())
             return RecoveryScheme(
                 layout=rec_eqs.layout,
                 failed_mask=rec_eqs.failed_mask,
@@ -498,6 +548,8 @@ def generate_scheme(
     expanded = pushed = pruned_closed = pruned_dominated = 0
     dominance_checks = 0
     peak_frontier = 1
+    bucket_transitions = 0
+    last_popped_key = init_key
     n_states = 1
     total_only = model.total_only
     states_append = states.append
@@ -510,6 +562,11 @@ def generate_scheme(
             goal_id = best_goal_sid
             break
         key, sid = heappop(heap)
+        if trace_on and key != last_popped_key:
+            # the frontier advanced to a new cost bucket — the moment the
+            # paper's Algorithm 1 moves to the next rec_list[r] sublist
+            bucket_transitions += 1
+            last_popped_key = key
         slot, mask, _, _, cstate = states[sid]
         prev = closed[slot].get(mask)
         if prev is not None and prev < key:
@@ -570,6 +627,7 @@ def generate_scheme(
     stats.pruned_dominated = pruned_dominated
     stats.dominance_checks = dominance_checks
     stats.peak_frontier = peak_frontier
+    stats.bucket_transitions = bucket_transitions
 
     exact = True
     if goal_id < 0:
@@ -600,6 +658,8 @@ def generate_scheme(
     chain.reverse()
 
     stats.wall_time_s = time.perf_counter() - t_start
+    if trace_on:
+        stats.publish(obs.get_recorder())
     return RecoveryScheme(
         layout=rec_eqs.layout,
         failed_mask=rec_eqs.failed_mask,

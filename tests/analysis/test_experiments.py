@@ -77,6 +77,12 @@ class TestAggregation:
         agg = aggregate_improvements({"rdp": s4}, lower_is_better=False)
         assert agg["u"]["max_percent"] >= 0
 
+    def test_empty_series_raises_value_error(self):
+        # Regression: empty per-algorithm series used to hit a
+        # ZeroDivisionError computing the mean.
+        with pytest.raises(ValueError, match="no data points"):
+            aggregate_improvements({"rdp": {"khan": [], "u": []}})
+
 
 class TestRendering:
     def test_table_contains_all_points(self, rdp_series3):

@@ -63,3 +63,9 @@ class TestSummary:
     def test_summary_keys(self, u_matrix):
         s = balance_summary(u_matrix)
         assert set(s) == {"mean_max_load", "worst_max_load", "mean_total"}
+
+    def test_empty_matrix_raises_value_error(self):
+        # Regression: an empty matrix used to hit a ZeroDivisionError
+        # computing the means.
+        with pytest.raises(ValueError, match="no data points"):
+            balance_summary([])

@@ -1,0 +1,64 @@
+"""Property-based invariants of the analysis metrics.
+
+Every metric here is downstream of real scheme generation, so the
+properties run against small instances of every code family (the shared
+``strategies.small_codes`` pool) rather than synthetic load vectors.
+"""
+
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from strategies import code_and_data_disk  # noqa: E402
+
+from repro.analysis.metrics import (  # noqa: E402
+    average_parallel_read_accesses,
+    improvement_percent,
+    load_balance_ratio,
+)
+from repro.recovery import u_scheme  # noqa: E402
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@given(cd=code_and_data_disk())
+@settings(**SETTINGS)
+def test_load_balance_ratio_in_unit_interval(cd):
+    """mean/max load of any real scheme is in (0, 1]."""
+    code, disk = cd
+    ratio = load_balance_ratio(u_scheme(code, disk, depth=1))
+    assert 0.0 < ratio <= 1.0
+
+
+@given(
+    baseline=st.floats(min_value=1e-3, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+    improved=st.floats(min_value=0.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_improvement_percent_sign_convention(baseline, improved):
+    """Positive iff improved < baseline, zero iff equal, negative iff
+    improved > baseline — the paper's "reduce by X%" convention."""
+    pct = improvement_percent(baseline, improved)
+    if improved < baseline:
+        assert pct > 0.0
+    elif improved == baseline:
+        assert pct == 0.0
+    else:
+        assert pct < 0.0
+    assert pct <= 100.0
+
+
+@given(cd=code_and_data_disk())
+@settings(**SETTINGS)
+def test_average_parallel_read_accesses_accepts_generator(cd):
+    """The metric must consume one-shot iterables, not just lists."""
+    code, disk = cd
+    scheme = u_scheme(code, disk, depth=1)
+    from_gen = average_parallel_read_accesses(s for s in [scheme, scheme])
+    assert from_gen == average_parallel_read_accesses([scheme, scheme])
+    assert from_gen == scheme.max_load

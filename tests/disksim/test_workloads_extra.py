@@ -33,7 +33,8 @@ class TestSequentialScan:
     def test_strictly_periodic(self):
         wl = SequentialScanWorkload(disk=1, k_rows=4, interval_s=0.5)
         reqs = wl.generate(5.0)
-        assert len(reqs) == 9
+        assert len(reqs) == 10
+        assert reqs[0].arrival_s == 0.0
         assert all(r.disk == 1 for r in reqs)
         gaps = [b.arrival_s - a.arrival_s for a, b in zip(reqs, reqs[1:])]
         assert all(g == pytest.approx(0.5) for g in gaps)
@@ -41,7 +42,21 @@ class TestSequentialScan:
     def test_rows_cycle(self):
         wl = SequentialScanWorkload(disk=0, k_rows=3, interval_s=1.0)
         reqs = wl.generate(7.0)
-        assert [r.row for r in reqs] == [0, 1, 2, 0, 1, 2]
+        assert [r.row for r in reqs] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_short_duration_still_emits_first_request(self):
+        # Regression: the scan used to start at t = interval_s, so a
+        # duration at or below one interval produced no requests at all.
+        wl = SequentialScanWorkload(disk=0, k_rows=4, interval_s=1.0)
+        reqs = wl.generate(1.0)
+        assert len(reqs) == 1
+        assert reqs[0].arrival_s == 0.0
+        assert reqs[0].row == 0
+        assert wl.generate(0.5)[0].arrival_s == 0.0
+
+    def test_zero_duration_yields_nothing(self):
+        wl = SequentialScanWorkload(disk=0, k_rows=4, interval_s=1.0)
+        assert wl.generate(0.0) == []
 
     def test_validation(self):
         with pytest.raises(ValueError):

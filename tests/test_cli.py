@@ -105,6 +105,46 @@ class TestCommands:
                      "--inject", "die:2:1", "--inject", "die:3:2"]) == 1
         assert "UNRECOVERABLE" in capsys.readouterr().out
 
+    def test_trace_writes_valid_jsonl(self, capsys, tmp_path):
+        from repro.obs import validate_trace_file
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--family", "rdp", "--disks", "7",
+                     "--out", str(out)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        counts = validate_trace_file(out)
+        assert counts["meta"] == 1
+        assert counts["span"] >= 3   # pipeline, verify, simulate at least
+        assert counts["counter"] >= 1
+
+    def test_trace_validate_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--family", "evenodd", "--disks", "7",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--validate", str(out)]) == 0
+        assert "valid repro-trace/1" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\n')
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_profile_prints_stage_breakdown(self, capsys):
+        assert main(["--profile", "scheme", "--family", "rdp",
+                     "--disks", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown" in out
+        assert "search.generate" in out
+        assert "counters:" in out
+
+    def test_profile_leaves_recorder_disabled(self, capsys):
+        from repro import obs
+
+        assert main(["--profile", "families"]) == 0
+        assert not obs.enabled()
+
     def test_report_small(self, capsys, tmp_path):
         out_file = tmp_path / "r.md"
         assert main(["report", "--min-disks", "7", "--max-disks", "7",
@@ -113,3 +153,61 @@ class TestCommands:
         assert out_file.exists()
         text = out_file.read_text()
         assert "Reproduction report" in text
+
+
+class TestErrorContract:
+    """Unknown families / invalid geometry: one-line stderr, exit 2."""
+
+    def _assert_exit_2(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        err = captured.err.strip()
+        assert err.startswith("error:"), err
+        assert "\n" not in err  # exactly one line
+        assert "Traceback" not in captured.err
+
+    def test_scheme_invalid_geometry(self, capsys):
+        # xcode needs a prime disk count
+        self._assert_exit_2(
+            capsys, ["scheme", "--family", "xcode", "--disks", "8"]
+        )
+
+    def test_scheme_failed_disk_out_of_range(self, capsys):
+        self._assert_exit_2(
+            capsys,
+            ["scheme", "--family", "rdp", "--disks", "7",
+             "--failed-disk", "99"],
+        )
+
+    def test_verify_invalid_geometry(self, capsys):
+        self._assert_exit_2(
+            capsys, ["verify", "--family", "xcode", "--disks", "12"]
+        )
+
+    def test_simulate_invalid_geometry(self, capsys):
+        self._assert_exit_2(
+            capsys, ["simulate", "--family", "xcode", "--disks", "8"]
+        )
+
+    def test_recover_failed_disk_out_of_range(self, capsys):
+        self._assert_exit_2(
+            capsys,
+            ["recover", "--family", "evenodd", "--disks", "7",
+             "--failed-disk", "-3"],
+        )
+
+    def test_degraded_row_out_of_range(self, capsys):
+        self._assert_exit_2(
+            capsys,
+            ["degraded", "--family", "rdp", "--disks", "8", "--rows", "99"],
+        )
+
+    def test_trace_invalid_geometry(self, capsys):
+        self._assert_exit_2(
+            capsys, ["trace", "--family", "xcode", "--disks", "9"]
+        )
+
+    def test_unknown_family_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["scheme", "--family", "nope", "--disks", "8"])
+        assert exc.value.code == 2
