@@ -31,6 +31,10 @@ class BatchReconstructor:
         failed_mask = scheme.failed_mask
         #: per slot: (surviving source eids, earlier-recovered source eids)
         self._plan: List = []
+        #: failed eid -> its slot index (recovery order) for in-place output
+        self._slot_of: Dict[int, int] = {
+            f: i for i, f in enumerate(scheme.failed_eids)
+        }
         for f, eq in zip(scheme.failed_eids, scheme.equations):
             members = eq & ~(1 << f)
             surviving: List[int] = []
@@ -83,6 +87,39 @@ class BatchReconstructor:
             for eid in recovered_refs:
                 np.bitwise_xor(acc, out[eid], out=acc)
             out[f] = acc
+        return out
+
+    def recover_batch_into(self, stripes: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Zero-allocation variant: XOR straight into a caller buffer.
+
+        ``out`` must have shape ``(n_stripes, n_failed, element_size)``;
+        slot ``i`` along axis 1 receives the element ``failed_eids[i]``.
+        The output slices themselves are the accumulators — nothing is
+        allocated, which is what lets pipeline workers XOR views of a
+        shared-memory arena in place.  Returns ``out``.
+        """
+        if stripes.ndim != 3:
+            raise ValueError(
+                f"expected (n_stripes, n_elements, element_size), got {stripes.shape}"
+            )
+        if stripes.shape[1] != self.scheme.layout.n_elements:
+            raise ValueError(
+                f"stripe width {stripes.shape[1]} != layout "
+                f"{self.scheme.layout.n_elements}"
+            )
+        want = (stripes.shape[0], len(self._plan), stripes.shape[2])
+        if out.shape != want:
+            raise ValueError(f"out shape {out.shape} != {want}")
+        for i, (f, surviving, recovered_refs) in enumerate(self._plan):
+            acc = out[:, i, :]
+            if surviving:
+                np.copyto(acc, stripes[:, surviving[0], :])
+                for eid in surviving[1:]:
+                    np.bitwise_xor(acc, stripes[:, eid, :], out=acc)
+            else:
+                acc[...] = 0
+            for eid in recovered_refs:
+                np.bitwise_xor(acc, out[:, self._slot_of[eid], :], out=acc)
         return out
 
     def verify_batch(self, stripes: np.ndarray) -> bool:

@@ -10,7 +10,7 @@ cost).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -79,13 +79,27 @@ class Reconstructor:
         self.elements_read += self.scheme.total_reads
         return out
 
-    def recover_and_patch(self, stripe: np.ndarray) -> np.ndarray:
-        """Rebuild failed elements and write them into a copy of the stripe."""
+    def recover_and_patch(
+        self, stripe: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Rebuild failed elements and write them into a patched stripe.
+
+        With ``out=None`` (the default) the input is never touched and a
+        patched *copy* is returned — the original API.  Passing ``out=``
+        writes the patched stripe there instead; ``out=stripe`` patches the
+        caller's buffer in place with zero copies, which is what the
+        rebuild pipeline's patch-back stage uses.
+        """
         recovered = self.recover_stripe(stripe)
-        patched = stripe.copy()
+        if out is None:
+            out = stripe.copy()
+        elif out is not stripe:
+            if out.shape != stripe.shape:
+                raise ValueError(f"out shape {out.shape} != {stripe.shape}")
+            np.copyto(out, stripe)
         for eid, data in recovered.items():
-            patched[eid] = data
-        return patched
+            out[eid] = data
+        return out
 
     def verify_stripe(self, stripe: np.ndarray) -> bool:
         """Recover from survivors and compare with the original bytes —

@@ -11,17 +11,21 @@ from repro.equations.calc import combination_closure, equation_space_size
 from repro.equations.enumerate import (
     RecoveryEquations,
     clear_enumeration_caches,
+    enumeration_cache_info,
     exhaustive_recovery_equations,
     gaussian_recovery_equations,
     get_recovery_equations,
+    set_enumeration_cache_limits,
 )
 
 __all__ = [
     "RecoveryEquations",
     "clear_enumeration_caches",
     "combination_closure",
+    "enumeration_cache_info",
     "equation_space_size",
     "exhaustive_recovery_equations",
     "gaussian_recovery_equations",
     "get_recovery_equations",
+    "set_enumeration_cache_limits",
 ]

@@ -134,17 +134,75 @@ def _dedupe_and_prune(
 # ----------------------------------------------------------------------
 # memoization
 # ----------------------------------------------------------------------
+def _env_limit(name: str, default: int) -> int:
+    """Read a cache bound from the environment, falling back on nonsense."""
+    import os
+
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
 _CLOSURE_CACHE: "OrderedDict[Tuple, List[int]]" = OrderedDict()
-_CLOSURE_CACHE_MAX = 32
+_CLOSURE_CACHE_MAX = _env_limit("REPRO_CLOSURE_CACHE_SIZE", 32)
 
 _ENUM_CACHE: "OrderedDict[Tuple, RecoveryEquations]" = OrderedDict()
-_ENUM_CACHE_MAX = 256
+_ENUM_CACHE_MAX = _env_limit("REPRO_ENUM_CACHE_SIZE", 256)
+
+
+def set_enumeration_cache_limits(
+    enum: Optional[int] = None, closure: Optional[int] = None
+) -> Tuple[int, int]:
+    """Re-bound the enumeration/closure LRUs; returns the new limits.
+
+    Long multi-code sessions (benchmark sweeps, the rebuild service) can
+    tune these down to cap memory or up to keep more codes warm.  Existing
+    entries beyond a lowered bound are evicted oldest-first immediately.
+    Defaults come from ``REPRO_ENUM_CACHE_SIZE`` /
+    ``REPRO_CLOSURE_CACHE_SIZE`` at import time (256 / 32).
+    """
+    global _ENUM_CACHE_MAX, _CLOSURE_CACHE_MAX
+    if enum is not None:
+        if enum < 1:
+            raise ValueError(f"enum cache size must be >= 1, got {enum}")
+        _ENUM_CACHE_MAX = enum
+        while len(_ENUM_CACHE) > _ENUM_CACHE_MAX:
+            _ENUM_CACHE.popitem(last=False)
+    if closure is not None:
+        if closure < 1:
+            raise ValueError(f"closure cache size must be >= 1, got {closure}")
+        _CLOSURE_CACHE_MAX = closure
+        while len(_CLOSURE_CACHE) > _CLOSURE_CACHE_MAX:
+            _CLOSURE_CACHE.popitem(last=False)
+    _publish_cache_sizes()
+    return _ENUM_CACHE_MAX, _CLOSURE_CACHE_MAX
+
+
+def enumeration_cache_info() -> Dict[str, int]:
+    """Current sizes and bounds of both memoization caches."""
+    return {
+        "enum_entries": len(_ENUM_CACHE),
+        "enum_max": _ENUM_CACHE_MAX,
+        "closure_entries": len(_CLOSURE_CACHE),
+        "closure_max": _CLOSURE_CACHE_MAX,
+    }
+
+
+def _publish_cache_sizes() -> None:
+    obs.gauge("enum.cache_entries", len(_ENUM_CACHE))
+    obs.gauge("enum.closure_cache_entries", len(_CLOSURE_CACHE))
 
 
 def clear_enumeration_caches() -> None:
     """Drop the memoized closures and enumerations (tests, benchmarks)."""
     _CLOSURE_CACHE.clear()
     _ENUM_CACHE.clear()
+    _publish_cache_sizes()
 
 
 def _cached_closure(equations: Tuple[int, ...], depth: int) -> List[int]:
@@ -167,6 +225,7 @@ def _cached_closure(equations: Tuple[int, ...], depth: int) -> List[int]:
     _CLOSURE_CACHE[key] = closure
     while len(_CLOSURE_CACHE) > _CLOSURE_CACHE_MAX:
         _CLOSURE_CACHE.popitem(last=False)
+    _publish_cache_sizes()
     return closure
 
 
@@ -319,6 +378,7 @@ def get_recovery_equations(
     _ENUM_CACHE[cache_key] = master
     while len(_ENUM_CACHE) > _ENUM_CACHE_MAX:
         _ENUM_CACHE.popitem(last=False)
+    _publish_cache_sizes()
     return _copy_rec_eqs(master)
 
 

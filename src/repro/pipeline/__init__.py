@@ -1,0 +1,25 @@
+"""``repro.pipeline`` — high-throughput whole-disk rebuild engine.
+
+The streaming data plane for single-disk recovery: chunked stripe
+iteration (:mod:`repro.pipeline.chunks`), a double-buffered
+``multiprocessing.shared_memory`` arena (:mod:`repro.pipeline.arena`) and
+the multi-process pipeline itself (:mod:`repro.pipeline.engine`), wired to
+the persistent :class:`~repro.recovery.plancache.SchemePlanCache` so
+repeated rebuilds skip scheme search entirely.  See the "Rebuild
+throughput" section of ``docs/performance.md``.
+"""
+
+from repro.pipeline.arena import ArenaSpec, SharedArena
+from repro.pipeline.chunks import StripeChunk, iter_chunks, rotation_classes
+from repro.pipeline.engine import RebuildPipeline, RebuildResult, rebuild_disk
+
+__all__ = [
+    "ArenaSpec",
+    "RebuildPipeline",
+    "RebuildResult",
+    "SharedArena",
+    "StripeChunk",
+    "iter_chunks",
+    "rebuild_disk",
+    "rotation_classes",
+]

@@ -1,0 +1,147 @@
+"""Shared-memory chunk arena for the rebuild pipeline.
+
+The whole point of the pipeline is that stripe *bytes* never travel through
+a pickle: the parent gathers each chunk into a slot of a
+``multiprocessing.shared_memory`` block, workers XOR numpy views of that
+slot in place, and only tiny ``(chunk_id, slot, ...)`` descriptors cross
+the task/result queues.
+
+An arena owns two blocks:
+
+* **input** — ``n_slots x chunk_stripes x n_elements x element_size``
+  bytes, the gathered logical-order stripes of one chunk per slot;
+* **output** — ``n_slots x chunk_stripes x k_rows x element_size`` bytes,
+  the recovered rows of the failed disk, written by workers.
+
+``n_slots`` is sized at twice the worker count (double buffering): while a
+worker XORs slot *i*, the parent is already gathering the next chunk into
+a free slot and patching a finished one back — and, because the slot pool
+is finite, it also provides the pipeline's backpressure: dispatch blocks
+when every slot is in flight.
+
+Workers attach by name (:meth:`SharedArena.attach`).  Attaching registers
+the segment with the (shared) resource tracker a second time, but that is
+an idempotent set-add; the creating process is the only one that ever
+unlinks — and unlinking is also the only operation that unregisters — so
+the tracker's books stay balanced with any number of workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Everything a worker needs to attach: names + geometry (picklable)."""
+
+    input_name: str
+    output_name: str
+    n_slots: int
+    chunk_stripes: int
+    n_elements: int
+    k_rows: int
+    element_size: int
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        return (self.n_slots, self.chunk_stripes, self.n_elements, self.element_size)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        return (self.n_slots, self.chunk_stripes, self.k_rows, self.element_size)
+
+
+class SharedArena:
+    """Double-buffered shared-memory slots for in-flight chunks."""
+
+    def __init__(
+        self,
+        n_slots: int,
+        chunk_stripes: int,
+        n_elements: int,
+        k_rows: int,
+        element_size: int,
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        in_bytes = n_slots * chunk_stripes * n_elements * element_size
+        out_bytes = n_slots * chunk_stripes * k_rows * element_size
+        self._owner = True
+        self._shm_in = shared_memory.SharedMemory(create=True, size=max(1, in_bytes))
+        self._shm_out = shared_memory.SharedMemory(create=True, size=max(1, out_bytes))
+        self.spec = ArenaSpec(
+            input_name=self._shm_in.name,
+            output_name=self._shm_out.name,
+            n_slots=n_slots,
+            chunk_stripes=chunk_stripes,
+            n_elements=n_elements,
+            k_rows=k_rows,
+            element_size=element_size,
+        )
+        self._build_views()
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec) -> "SharedArena":
+        """Worker-side view of an existing arena (does not own the blocks)."""
+        self = cls.__new__(cls)
+        self._owner = False
+        self._shm_in = shared_memory.SharedMemory(name=spec.input_name)
+        self._shm_out = shared_memory.SharedMemory(name=spec.output_name)
+        self.spec = spec
+        self._build_views()
+        return self
+
+    def _build_views(self) -> None:
+        spec = self.spec
+        self._inputs = np.ndarray(
+            spec.input_shape, dtype=np.uint8, buffer=self._shm_in.buf
+        )
+        self._outputs = np.ndarray(
+            spec.output_shape, dtype=np.uint8, buffer=self._shm_out.buf
+        )
+
+    # ------------------------------------------------------------------
+    # slot views
+    # ------------------------------------------------------------------
+    def input_view(self, slot: int, n_stripes: int) -> np.ndarray:
+        """Writable ``(n_stripes, n_elements, element_size)`` slot view."""
+        return self._inputs[slot, :n_stripes]
+
+    def output_view(self, slot: int, n_stripes: int) -> np.ndarray:
+        """Writable ``(n_stripes, k_rows, element_size)`` slot view."""
+        return self._outputs[slot, :n_stripes]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (and the blocks, if it owns them)."""
+        # release the numpy views before closing the mmap, or close() raises
+        # BufferError on exported pointers
+        self._inputs = None
+        self._outputs = None
+        for shm in (self._shm_in, self._shm_out):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._shm_in = None
+        self._shm_out = None
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

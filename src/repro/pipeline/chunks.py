@@ -1,0 +1,88 @@
+"""Chunked stripe iteration for whole-disk rebuild.
+
+A rotated array image (:class:`~repro.codec.image.ArrayImageCodec`) maps a
+failed *physical* disk to a different *logical* role in every stripe:
+stripe ``s`` rotates the layout by ``s mod n_disks``.  Batch recovery wants
+the opposite — long runs of stripes that share one recovery scheme, so a
+single compiled :class:`~repro.codec.batch.BatchReconstructor` plan can XOR
+them all at once.
+
+:func:`iter_chunks` therefore partitions the stripe index space by
+*rotation class* first (all stripes with ``s % n_disks == r`` play the same
+logical role for a given failed physical disk) and slices each class into
+batches of at most ``chunk_stripes``.  Every emitted :class:`StripeChunk`
+is homogeneous: one logical failed disk, one scheme, one compiled plan.
+
+Chunk ids are assigned in emission order, so an ordered collector that
+processes results by ascending ``chunk_id`` is deterministic regardless of
+which worker finishes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StripeChunk:
+    """One homogeneous batch of stripes for the rebuild pipeline.
+
+    Attributes
+    ----------
+    chunk_id:
+        Dense sequence number in emission order (the collector's key).
+    rotation:
+        Rotation class shared by every stripe in the chunk.
+    logical_disk:
+        Logical role the failed physical disk plays in these stripes.
+    stripe_ids:
+        Ascending stripe indices, ``len <= chunk_stripes``.
+    """
+
+    chunk_id: int
+    rotation: int
+    logical_disk: int
+    stripe_ids: np.ndarray
+
+    @property
+    def n_stripes(self) -> int:
+        return len(self.stripe_ids)
+
+
+def rotation_classes(n_stripes: int, n_disks: int) -> List[np.ndarray]:
+    """Stripe indices grouped by rotation class (``s % n_disks``)."""
+    if n_stripes < 0:
+        raise ValueError(f"n_stripes must be >= 0, got {n_stripes}")
+    if n_disks < 1:
+        raise ValueError(f"n_disks must be >= 1, got {n_disks}")
+    all_stripes = np.arange(n_stripes, dtype=np.int64)
+    return [all_stripes[all_stripes % n_disks == r] for r in range(n_disks)]
+
+
+def iter_chunks(
+    n_stripes: int,
+    n_disks: int,
+    failed_physical: int,
+    chunk_stripes: int,
+) -> Iterator[StripeChunk]:
+    """Yield homogeneous chunks covering every stripe exactly once."""
+    if chunk_stripes < 1:
+        raise ValueError(f"chunk_stripes must be >= 1, got {chunk_stripes}")
+    if not 0 <= failed_physical < n_disks:
+        raise IndexError(f"physical disk {failed_physical} out of range")
+    chunk_id = 0
+    for rot, stripes in enumerate(rotation_classes(n_stripes, n_disks)):
+        if not len(stripes):
+            continue
+        logical = (failed_physical - rot) % n_disks
+        for lo in range(0, len(stripes), chunk_stripes):
+            yield StripeChunk(
+                chunk_id=chunk_id,
+                rotation=rot,
+                logical_disk=logical,
+                stripe_ids=stripes[lo : lo + chunk_stripes],
+            )
+            chunk_id += 1

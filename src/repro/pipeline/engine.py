@@ -1,0 +1,480 @@
+"""High-throughput rebuild engine: shared-memory parallel stripe pipeline.
+
+``repro.pipeline`` is the data-plane counterpart of the planning layer: it
+takes a code, a failed physical disk and an array image and drives the
+whole rebuild as a streaming pipeline —
+
+1. :func:`~repro.pipeline.chunks.iter_chunks` slices the stripe space into
+   homogeneous batches (one logical failed role, one compiled plan each);
+2. the parent gathers each chunk's surviving elements into a slot of a
+   :class:`~repro.pipeline.arena.SharedArena` (vectorised, one fancy-index
+   copy per disk) and pushes a tiny descriptor to the task queue — stripe
+   bytes are never pickled;
+3. workers XOR views of the shared slot straight into the output block via
+   :meth:`~repro.codec.batch.BatchReconstructor.recover_batch_into`, each
+   reusing one compiled plan per logical role for its whole lifetime;
+4. an ordered collector patches finished chunks back into the rebuilt disk
+   image in chunk order; the finite slot pool is the backpressure — at
+   most ``2 x workers`` chunks are ever in flight.
+
+With ``workers <= 1`` the same chunked batch path runs inline (no arena,
+no subprocesses) — that is the single-process baseline the benchmark
+harness compares against, and the output is byte-identical by
+construction.  ``use_batch=False`` additionally drops to the per-stripe
+:class:`~repro.codec.reconstructor.Reconstructor` path (zero-copy in-place
+patching via ``recover_and_patch(..., out=...)``), which is the engine the
+repo had before this module existed — kept as the equivalence oracle.
+
+Planning is delegated to :class:`~repro.recovery.planner.RecoveryPlanner`,
+optionally backed by a persistent
+:class:`~repro.recovery.plancache.SchemePlanCache` so repeated rebuilds of
+the same code skip the C/U search entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.codec.batch import BatchReconstructor
+from repro.codec.image import ArrayImageCodec
+from repro.codec.reconstructor import Reconstructor
+from repro.pipeline.arena import ArenaSpec, SharedArena
+from repro.pipeline.chunks import StripeChunk, iter_chunks
+from repro.recovery.plancache import SchemePlanCache
+from repro.recovery.planner import RecoveryPlanner
+from repro.recovery.scheme import RecoveryScheme
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits nothing it shouldn't via the
+    arena's named attach); spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class RebuildResult:
+    """Outcome of one whole-disk rebuild."""
+
+    image: np.ndarray                 #: rebuilt disk rows ``(n_stripes*k, esz)``
+    reads_per_disk: List[int]         #: element reads billed per physical disk
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mb_per_s(self) -> float:
+        return self.stats.get("rebuilt_mb_s", 0.0)
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    spec: ArenaSpec,
+    schemes: Dict[int, RecoveryScheme],
+    task_q,
+    result_q,
+) -> None:
+    """Pipeline worker: recover chunks in shared memory until poisoned.
+
+    ``schemes`` (logical disk -> plan) is pickled to the worker exactly
+    once at spawn; each plan is compiled into a
+    :class:`BatchReconstructor` on first use and reused for every chunk of
+    that logical role thereafter.
+    """
+    arena = SharedArena.attach(spec)
+    compiled: Dict[int, BatchReconstructor] = {}
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            chunk_id, slot, n_stripes, logical_disk = task
+            try:
+                recon = compiled.get(logical_disk)
+                if recon is None:
+                    recon = compiled[logical_disk] = BatchReconstructor(
+                        schemes[logical_disk]
+                    )
+                recon.recover_batch_into(
+                    arena.input_view(slot, n_stripes),
+                    arena.output_view(slot, n_stripes),
+                )
+            except Exception as exc:  # surface, don't hang the parent
+                result_q.put(("error", worker_id, chunk_id, repr(exc)))
+                break
+            result_q.put(("done", worker_id, chunk_id, slot))
+    finally:
+        arena.close()
+
+
+# ----------------------------------------------------------------------
+# pipeline
+# ----------------------------------------------------------------------
+class RebuildPipeline:
+    """Streaming multi-process rebuild of one failed physical disk.
+
+    Parameters
+    ----------
+    codec:
+        The array geometry (code, element size, stripe count, rotation).
+    workers:
+        Worker processes.  ``<= 1`` runs the chunked batch path inline.
+    chunk_stripes:
+        Stripes per chunk (the batch size workers XOR at once).
+    planner:
+        Optional pre-built planner (its cached schemes are reused).
+    plan_cache:
+        Optional persistent plan store handed to a freshly built planner.
+    algorithm / depth:
+        Scheme search configuration when no planner is supplied.
+    """
+
+    def __init__(
+        self,
+        codec: ArrayImageCodec,
+        workers: int = 2,
+        chunk_stripes: int = 64,
+        planner: Optional[RecoveryPlanner] = None,
+        plan_cache: Optional[SchemePlanCache] = None,
+        algorithm: str = "u",
+        depth: int = 1,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_stripes < 1:
+            raise ValueError(f"chunk_stripes must be >= 1, got {chunk_stripes}")
+        self.codec = codec
+        self.workers = workers
+        self.chunk_stripes = min(chunk_stripes, max(1, codec.n_stripes))
+        self.planner = planner or RecoveryPlanner(
+            codec.code, algorithm=algorithm, depth=depth, plan_cache=plan_cache
+        )
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _schemes_for(self, failed_physical: int) -> Dict[int, RecoveryScheme]:
+        """One plan per logical role the failed disk plays across stripes."""
+        lay = self.codec.code.layout
+        needed = {
+            (failed_physical - (s % lay.n_disks)) % lay.n_disks
+            for s in range(self.codec.n_stripes)
+        }
+        with obs.span("pipeline.plan", roles=len(needed)):
+            return {d: self.planner.scheme_for_disk(d) for d in sorted(needed)}
+
+    # ------------------------------------------------------------------
+    # gather / patch-back primitives (parent side)
+    # ------------------------------------------------------------------
+    def _gather_chunk(
+        self, disks: np.ndarray, chunk: StripeChunk, out: np.ndarray
+    ) -> None:
+        """Copy a chunk's stripes into ``out`` in logical element order.
+
+        One fancy-index copy per surviving disk; the failed logical disk's
+        rows are left stale on purpose — no scheme may read them, so any
+        accidental dependence shows up as a byte mismatch, not silence.
+        """
+        lay = self.codec.code.layout
+        k = lay.k_rows
+        row_idx = chunk.stripe_ids[:, None] * k + np.arange(k, dtype=np.int64)
+        for logical in range(lay.n_disks):
+            if logical == chunk.logical_disk:
+                continue
+            phys = (logical + chunk.rotation) % lay.n_disks
+            out[:, logical * k : (logical + 1) * k, :] = disks[phys][row_idx]
+
+    def _patch_chunk(
+        self, rebuilt: np.ndarray, chunk: StripeChunk, recovered: np.ndarray
+    ) -> None:
+        """Scatter a chunk's recovered rows into the rebuilt disk image."""
+        k = self.codec.code.layout.k_rows
+        row_idx = (
+            chunk.stripe_ids[:, None] * k + np.arange(k, dtype=np.int64)
+        ).reshape(-1)
+        rebuilt[row_idx] = recovered.reshape(-1, self.codec.element_size)
+
+    def _bill_reads(
+        self,
+        reads_per_disk: List[int],
+        chunk: StripeChunk,
+        scheme: RecoveryScheme,
+    ) -> None:
+        lay = self.codec.code.layout
+        for logical, load in enumerate(scheme.loads):
+            if load:
+                phys = (logical + chunk.rotation) % lay.n_disks
+                reads_per_disk[phys] += load * chunk.n_stripes
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        disks: np.ndarray,
+        failed_physical: int,
+        use_batch: bool = True,
+        patch: bool = False,
+    ) -> RebuildResult:
+        """Rebuild ``disks[failed_physical]`` from the survivors.
+
+        The failed disk's stored rows are never read.  ``patch=True``
+        additionally writes the rebuilt rows back into ``disks`` in place
+        (hot-spare semantics).
+        """
+        lay = self.codec.code.layout
+        if not 0 <= failed_physical < lay.n_disks:
+            raise IndexError(f"physical disk {failed_physical} out of range")
+        expect = (lay.n_disks, self.codec.n_stripes * lay.k_rows, self.codec.element_size)
+        if disks.shape != expect:
+            raise ValueError(f"disks shape {disks.shape} != {expect}")
+
+        schemes = self._schemes_for(failed_physical)
+        chunks = list(
+            iter_chunks(
+                self.codec.n_stripes, lay.n_disks, failed_physical,
+                self.chunk_stripes,
+            )
+        )
+        rebuilt = np.zeros(
+            (self.codec.n_stripes * lay.k_rows, self.codec.element_size),
+            dtype=np.uint8,
+        )
+        reads_per_disk = [0] * lay.n_disks
+
+        t0 = time.perf_counter()
+        if not use_batch:
+            mode = "stripe-loop"
+            self._rebuild_per_stripe(disks, failed_physical, schemes, rebuilt,
+                                     reads_per_disk)
+        elif self.workers <= 1 or len(chunks) < 2:
+            mode = "inline-batch"
+            self._rebuild_inline(disks, schemes, chunks, rebuilt, reads_per_disk)
+        else:
+            mode = "pipeline"
+            self._rebuild_parallel(disks, schemes, chunks, rebuilt, reads_per_disk)
+        wall_s = time.perf_counter() - t0
+
+        if patch:
+            disks[failed_physical] = rebuilt
+        rebuilt_bytes = rebuilt.nbytes
+        obs.count("pipeline.rebuilds")
+        obs.count("pipeline.stripes", self.codec.n_stripes)
+        obs.count("pipeline.bytes", rebuilt_bytes)
+        stats = {
+            "mode": mode,
+            "workers": self.workers if mode == "pipeline" else 1,
+            "chunk_stripes": self.chunk_stripes,
+            "chunks": len(chunks),
+            "stripes": self.codec.n_stripes,
+            "rebuilt_bytes": rebuilt_bytes,
+            "wall_s": wall_s,
+            "rebuilt_mb_s": (rebuilt_bytes / 2**20) / wall_s if wall_s > 0 else 0.0,
+            "plan_cache": (
+                self.planner.plan_cache.stats()
+                if self.planner.plan_cache is not None
+                else None
+            ),
+        }
+        return RebuildResult(image=rebuilt, reads_per_disk=reads_per_disk,
+                             stats=stats)
+
+    # ------------------------------------------------------------------
+    # single-process paths
+    # ------------------------------------------------------------------
+    def _rebuild_per_stripe(
+        self,
+        disks: np.ndarray,
+        failed_physical: int,
+        schemes: Dict[int, RecoveryScheme],
+        rebuilt: np.ndarray,
+        reads_per_disk: List[int],
+    ) -> None:
+        """Per-stripe oracle path (the pre-pipeline engine, kept honest).
+
+        Gathers one stripe at a time and patches it in place through
+        :meth:`Reconstructor.recover_and_patch` with ``out=`` — the
+        zero-copy variant — then copies only the failed rows out.
+        """
+        lay = self.codec.code.layout
+        k = lay.k_rows
+        recons = {d: Reconstructor(s) for d, s in schemes.items()}
+        stripe_buf = np.empty(
+            (lay.n_elements, self.codec.element_size), dtype=np.uint8
+        )
+        for s in range(self.codec.n_stripes):
+            rot = s % lay.n_disks
+            logical = (failed_physical - rot) % lay.n_disks
+            scheme = schemes[logical]
+            for ld in range(lay.n_disks):
+                phys = (ld + rot) % lay.n_disks
+                stripe_buf[ld * k : (ld + 1) * k] = disks[phys, s * k : (s + 1) * k]
+            recons[logical].recover_and_patch(stripe_buf, out=stripe_buf)
+            rebuilt[s * k : (s + 1) * k] = stripe_buf[
+                logical * k : (logical + 1) * k
+            ]
+            for ld, load in enumerate(scheme.loads):
+                if load:
+                    reads_per_disk[(ld + rot) % lay.n_disks] += load
+
+    def _rebuild_inline(
+        self,
+        disks: np.ndarray,
+        schemes: Dict[int, RecoveryScheme],
+        chunks: List[StripeChunk],
+        rebuilt: np.ndarray,
+        reads_per_disk: List[int],
+    ) -> None:
+        """Chunked batch path in this process (the workers<=1 fallback)."""
+        lay = self.codec.code.layout
+        compiled = {d: BatchReconstructor(s) for d, s in schemes.items()}
+        in_buf = np.empty(
+            (self.chunk_stripes, lay.n_elements, self.codec.element_size),
+            dtype=np.uint8,
+        )
+        out_buf = np.empty(
+            (self.chunk_stripes, lay.k_rows, self.codec.element_size),
+            dtype=np.uint8,
+        )
+        for chunk in chunks:
+            n = chunk.n_stripes
+            self._gather_chunk(disks, chunk, in_buf[:n])
+            compiled[chunk.logical_disk].recover_batch_into(
+                in_buf[:n], out_buf[:n]
+            )
+            self._patch_chunk(rebuilt, chunk, out_buf[:n])
+            self._bill_reads(reads_per_disk, chunk, schemes[chunk.logical_disk])
+            obs.count("pipeline.chunks")
+
+    # ------------------------------------------------------------------
+    # multi-process path
+    # ------------------------------------------------------------------
+    def _rebuild_parallel(
+        self,
+        disks: np.ndarray,
+        schemes: Dict[int, RecoveryScheme],
+        chunks: List[StripeChunk],
+        rebuilt: np.ndarray,
+        reads_per_disk: List[int],
+    ) -> None:
+        lay = self.codec.code.layout
+        ctx = _mp_context()
+        n_workers = min(self.workers, len(chunks))
+        n_slots = 2 * n_workers  # double buffering == the in-flight bound
+        arena = SharedArena(
+            n_slots=n_slots,
+            chunk_stripes=self.chunk_stripes,
+            n_elements=lay.n_elements,
+            k_rows=lay.k_rows,
+            element_size=self.codec.element_size,
+        )
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(w, arena.spec, schemes, task_q, result_q),
+                daemon=True,
+            )
+            for w in range(n_workers)
+        ]
+        for p in procs:
+            p.start()
+
+        pending = deque(chunks)
+        free_slots = list(range(n_slots))
+        inflight: Dict[int, StripeChunk] = {}
+        slot_of: Dict[int, int] = {}
+        finished: Dict[int, int] = {}  # chunk_id -> slot, awaiting ordered patch
+        next_patch = 0
+        try:
+            with obs.span(
+                "pipeline.parallel", workers=n_workers, chunks=len(chunks)
+            ):
+                while next_patch < len(chunks):
+                    # keep the arena full: gather + dispatch while slots last
+                    while free_slots and pending:
+                        chunk = pending.popleft()
+                        slot = free_slots.pop()
+                        self._gather_chunk(
+                            disks, chunk, arena.input_view(slot, chunk.n_stripes)
+                        )
+                        inflight[chunk.chunk_id] = chunk
+                        slot_of[chunk.chunk_id] = slot
+                        task_q.put(
+                            (chunk.chunk_id, slot, chunk.n_stripes,
+                             chunk.logical_disk)
+                        )
+                        obs.gauge("pipeline.inflight", len(inflight))
+                    msg = result_q.get()
+                    if msg[0] == "error":
+                        _, worker_id, chunk_id, detail = msg
+                        raise RuntimeError(
+                            f"pipeline worker {worker_id} failed on chunk "
+                            f"{chunk_id}: {detail}"
+                        )
+                    _, _worker_id, chunk_id, slot = msg
+                    finished[chunk_id] = slot
+                    # ordered collector: patch back strictly by chunk id.
+                    # Chunks are dispatched in id order, so the lowest
+                    # unfinished id always holds a slot — the buffer can
+                    # never fill with out-of-order results and stall.
+                    while next_patch in finished:
+                        pslot = finished.pop(next_patch)
+                        chunk = inflight.pop(next_patch)
+                        del slot_of[next_patch]
+                        self._patch_chunk(
+                            rebuilt, chunk,
+                            arena.output_view(pslot, chunk.n_stripes),
+                        )
+                        self._bill_reads(
+                            reads_per_disk, chunk, schemes[chunk.logical_disk]
+                        )
+                        free_slots.append(pslot)
+                        next_patch += 1
+                        obs.count("pipeline.chunks")
+            for _ in procs:
+                task_q.put(None)
+            for p in procs:
+                p.join(timeout=30)
+        finally:
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - error unwind only
+                    p.terminate()
+                    p.join(timeout=5)
+            arena.close()
+            task_q.close()
+            result_q.close()
+
+
+# ----------------------------------------------------------------------
+# convenience wrapper
+# ----------------------------------------------------------------------
+def rebuild_disk(
+    codec: ArrayImageCodec,
+    disks: np.ndarray,
+    failed_physical: int,
+    workers: int = 2,
+    chunk_stripes: int = 64,
+    plan_cache: Optional[SchemePlanCache] = None,
+    algorithm: str = "u",
+    depth: int = 1,
+) -> RebuildResult:
+    """One-call rebuild of a failed physical disk (see :class:`RebuildPipeline`)."""
+    pipe = RebuildPipeline(
+        codec,
+        workers=workers,
+        chunk_stripes=chunk_stripes,
+        plan_cache=plan_cache,
+        algorithm=algorithm,
+        depth=depth,
+    )
+    return pipe.rebuild(disks, failed_physical)

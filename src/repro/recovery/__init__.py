@@ -22,6 +22,7 @@ from repro.recovery.greedy import greedy_scheme, greedy_scheme_for_mask
 from repro.recovery.khan import khan_scheme, khan_scheme_for_mask
 from repro.recovery.multifailure import recover_failure
 from repro.recovery.naive import naive_scheme, naive_scheme_for_mask
+from repro.recovery.plancache import SchemePlanCache, plan_key
 from repro.recovery.planner import RecoveryPlanner
 from repro.recovery.resilient import (
     ElementUnreadable,
@@ -66,6 +67,7 @@ __all__ = [
     "RecoveryScheme",
     "ResilientExecutor",
     "ResilientResult",
+    "SchemePlanCache",
     "SchemeStats",
     "SearchStats",
     "compare_stats",
@@ -86,6 +88,7 @@ __all__ = [
     "khan_scheme_for_mask",
     "naive_scheme",
     "naive_scheme_for_mask",
+    "plan_key",
     "recover_failure",
     "scheme_for_disk",
     "u_scheme",

@@ -23,6 +23,7 @@ from repro.codes.base import ErasureCode
 from repro.recovery.calgorithm import c_scheme
 from repro.recovery.khan import khan_scheme
 from repro.recovery.naive import naive_scheme
+from repro.recovery.plancache import SchemePlanCache
 from repro.recovery.scheme import RecoveryScheme
 from repro.recovery.ualgorithm import u_scheme
 
@@ -68,6 +69,7 @@ class RecoveryPlanner:
         algorithm: str = "u",
         depth: int = 2,
         max_expansions: Optional[int] = 2_000_000,
+        plan_cache: Optional[SchemePlanCache] = None,
     ) -> None:
         if algorithm not in ("naive", "khan", "c", "u"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -75,6 +77,8 @@ class RecoveryPlanner:
         self.algorithm = algorithm
         self.depth = depth
         self.max_expansions = max_expansions
+        #: cross-process plan store consulted before any search runs
+        self.plan_cache = plan_cache
         self._cache: Dict[int, RecoveryScheme] = {}
 
     def scheme_for_disk(self, disk: int) -> RecoveryScheme:
@@ -83,17 +87,43 @@ class RecoveryPlanner:
             self._cache[disk] = self._generate(disk)
         return self._cache[disk]
 
+    def _from_plan_cache(self, disk: int) -> Optional[RecoveryScheme]:
+        """Consult the persistent plan cache, if one is attached."""
+        if self.plan_cache is None:
+            return None
+        return self.plan_cache.get(
+            self.code, disk, self.algorithm, self.depth, self.max_expansions
+        )
+
     def _generate(self, disk: int) -> RecoveryScheme:
+        cached = self._from_plan_cache(disk)
+        if cached is not None:
+            return cached
         with obs.span("planner.generate", disk=disk, algorithm=self.algorithm):
             obs.count("planner.schemes_generated")
             if self.algorithm == "naive":
-                return naive_scheme(self.code, disk)
-            kwargs = dict(depth=self.depth, max_expansions=self.max_expansions)
-            if self.algorithm == "khan":
-                return khan_scheme(self.code, disk, **kwargs)
-            if self.algorithm == "c":
-                return c_scheme(self.code, disk, **kwargs)
-            return u_scheme(self.code, disk, **kwargs)
+                scheme = naive_scheme(self.code, disk)
+            elif self.algorithm == "khan":
+                scheme = khan_scheme(
+                    self.code, disk, depth=self.depth,
+                    max_expansions=self.max_expansions,
+                )
+            elif self.algorithm == "c":
+                scheme = c_scheme(
+                    self.code, disk, depth=self.depth,
+                    max_expansions=self.max_expansions,
+                )
+            else:
+                scheme = u_scheme(
+                    self.code, disk, depth=self.depth,
+                    max_expansions=self.max_expansions,
+                )
+        if self.plan_cache is not None:
+            self.plan_cache.put(
+                self.code, disk, self.algorithm, self.depth, scheme,
+                self.max_expansions,
+            )
+        return scheme
 
     def all_data_disk_schemes(self) -> List[RecoveryScheme]:
         """Schemes for every user-data disk (the paper's Fig. 3/4 setup)."""
@@ -122,6 +152,17 @@ class RecoveryPlanner:
             else self.code.layout.data_disks
         )
         todo = [d for d in disks if d not in self._cache]
+        if todo and self.plan_cache is not None:
+            # resolve persistent-cache hits in the parent so only genuine
+            # searches are shipped to the pool
+            still = []
+            for d in todo:
+                hit = self._from_plan_cache(d)
+                if hit is not None:
+                    self._cache[d] = hit
+                else:
+                    still.append(d)
+            todo = still
         if todo:
             if workers == 1:
                 for d in todo:
@@ -143,6 +184,11 @@ class RecoveryPlanner:
                         for d, scheme in zip(todo, pool.map(_generate_one, todo)):
                             self._cache[d] = scheme
                             self._publish_worker_stats(scheme)
+                            if self.plan_cache is not None:
+                                self.plan_cache.put(
+                                    self.code, d, self.algorithm, self.depth,
+                                    scheme, self.max_expansions,
+                                )
         return [self._cache[d] for d in disks]
 
     @staticmethod

@@ -161,3 +161,101 @@ class TestMemoization:
         assert not enum_mod._CLOSURE_CACHE
         rec = get_recovery_equations(code, failed, depth=1)
         rec.validate()
+
+
+class TestCacheBounds:
+    """The memoization LRUs are bounded, configurable and observable."""
+
+    def setup_method(self):
+        from repro.equations import clear_enumeration_caches
+
+        clear_enumeration_caches()
+
+    def teardown_method(self):
+        from repro.equations import (
+            clear_enumeration_caches,
+            set_enumeration_cache_limits,
+        )
+
+        clear_enumeration_caches()
+        set_enumeration_cache_limits(enum=256, closure=32)
+
+    def test_enum_cache_never_exceeds_bound(self):
+        from repro.equations import enumerate as enum_mod
+        from repro.equations import set_enumeration_cache_limits
+
+        set_enumeration_cache_limits(enum=3)
+        code = RdpCode(7)
+        for disk in range(code.layout.n_disks):
+            get_recovery_equations(code, code.layout.disk_mask(disk), depth=1)
+            assert len(enum_mod._ENUM_CACHE) <= 3
+        assert len(enum_mod._ENUM_CACHE) == 3
+
+    def test_eviction_is_lru_order(self):
+        from repro.equations import enumerate as enum_mod
+        from repro.equations import set_enumeration_cache_limits
+
+        set_enumeration_cache_limits(enum=2)
+        code = RdpCode(7)
+        masks = [code.layout.disk_mask(d) for d in range(3)]
+        get_recovery_equations(code, masks[0], depth=1)
+        get_recovery_equations(code, masks[1], depth=1)
+        get_recovery_equations(code, masks[0], depth=1)  # refresh 0
+        get_recovery_equations(code, masks[2], depth=1)  # evicts 1
+        cached_failed = {key[4] for key in enum_mod._ENUM_CACHE}
+        assert cached_failed == {masks[0], masks[2]}
+
+    def test_lowering_limit_evicts_immediately(self):
+        from repro.equations import enumerate as enum_mod
+        from repro.equations import set_enumeration_cache_limits
+
+        code = RdpCode(7)
+        for disk in range(4):
+            get_recovery_equations(code, code.layout.disk_mask(disk), depth=1)
+        set_enumeration_cache_limits(enum=1, closure=1)
+        assert len(enum_mod._ENUM_CACHE) == 1
+        assert len(enum_mod._CLOSURE_CACHE) <= 1
+
+    def test_rejects_nonpositive_limits(self):
+        import pytest
+
+        from repro.equations import set_enumeration_cache_limits
+
+        with pytest.raises(ValueError):
+            set_enumeration_cache_limits(enum=0)
+        with pytest.raises(ValueError):
+            set_enumeration_cache_limits(closure=-1)
+
+    def test_cache_info_reports_sizes(self):
+        from repro.equations import enumeration_cache_info
+
+        code = RdpCode(5)
+        get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        info = enumeration_cache_info()
+        assert info["enum_entries"] == 1
+        assert info["closure_entries"] == 1
+        assert info["enum_max"] >= 1 and info["closure_max"] >= 1
+
+    def test_sizes_published_as_obs_gauges(self):
+        from repro import obs
+
+        rec = obs.enable(label="cache-bounds test")
+        try:
+            code = RdpCode(5)
+            get_recovery_equations(code, code.layout.disk_mask(0), depth=1)
+        finally:
+            obs.disable()
+        assert rec.gauges["enum.cache_entries"].value == 1
+        assert rec.gauges["enum.closure_cache_entries"].value == 1
+
+    def test_env_limit_parsing(self, monkeypatch):
+        from repro.equations.enumerate import _env_limit
+
+        monkeypatch.setenv("X_CACHE", "17")
+        assert _env_limit("X_CACHE", 5) == 17
+        monkeypatch.setenv("X_CACHE", "bogus")
+        assert _env_limit("X_CACHE", 5) == 5
+        monkeypatch.setenv("X_CACHE", "0")
+        assert _env_limit("X_CACHE", 5) == 5
+        monkeypatch.delenv("X_CACHE")
+        assert _env_limit("X_CACHE", 5) == 5

@@ -1,0 +1,53 @@
+"""Shared-memory arena: geometry, cross-handle visibility, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import SharedArena
+
+
+def make_arena(**overrides):
+    spec = dict(n_slots=3, chunk_stripes=4, n_elements=10, k_rows=2,
+                element_size=8)
+    spec.update(overrides)
+    return SharedArena(**spec)
+
+
+class TestArena:
+    def test_view_shapes(self):
+        with make_arena() as arena:
+            assert arena.input_view(0, 4).shape == (4, 10, 8)
+            assert arena.input_view(2, 1).shape == (1, 10, 8)
+            assert arena.output_view(1, 3).shape == (3, 2, 8)
+
+    def test_slots_are_disjoint(self):
+        with make_arena() as arena:
+            arena.input_view(0, 4)[...] = 7
+            arena.input_view(1, 4)[...] = 9
+            assert (arena.input_view(0, 4) == 7).all()
+            assert (arena.input_view(1, 4) == 9).all()
+
+    def test_attach_sees_creator_writes(self):
+        # same-process attach exercises the exact path workers use
+        with make_arena() as arena:
+            arena.input_view(1, 2)[...] = 42
+            attached = SharedArena.attach(arena.spec)
+            try:
+                assert (attached.input_view(1, 2) == 42).all()
+                attached.output_view(1, 2)[...] = 5
+                assert (arena.output_view(1, 2) == 5).all()
+            finally:
+                attached.close()
+
+    def test_close_is_idempotent_unlinks(self):
+        arena = make_arena()
+        name = arena.spec.input_name
+        arena.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            make_arena(n_slots=0)

@@ -1,0 +1,63 @@
+"""Chunk iterator invariants: full coverage, homogeneity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import StripeChunk, iter_chunks, rotation_classes
+
+
+class TestRotationClasses:
+    def test_partition_covers_everything(self):
+        classes = rotation_classes(23, 7)
+        seen = np.concatenate(classes)
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_members_share_rotation(self):
+        for r, stripes in enumerate(rotation_classes(40, 7)):
+            assert all(s % 7 == r for s in stripes.tolist())
+
+    def test_empty_image(self):
+        classes = rotation_classes(0, 5)
+        assert len(classes) == 5
+        assert all(len(c) == 0 for c in classes)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rotation_classes(-1, 5)
+        with pytest.raises(ValueError):
+            rotation_classes(5, 0)
+
+
+class TestIterChunks:
+    def test_every_stripe_exactly_once(self):
+        chunks = list(iter_chunks(37, 7, failed_physical=3, chunk_stripes=4))
+        seen = sorted(s for c in chunks for s in c.stripe_ids.tolist())
+        assert seen == list(range(37))
+
+    def test_chunk_ids_dense_and_ordered(self):
+        chunks = list(iter_chunks(37, 7, failed_physical=0, chunk_stripes=4))
+        assert [c.chunk_id for c in chunks] == list(range(len(chunks)))
+
+    def test_chunks_homogeneous(self):
+        for c in iter_chunks(50, 7, failed_physical=2, chunk_stripes=3):
+            assert isinstance(c, StripeChunk)
+            assert len(c.stripe_ids) <= 3
+            for s in c.stripe_ids.tolist():
+                rot = s % 7
+                assert rot == c.rotation
+                assert (2 - rot) % 7 == c.logical_disk
+
+    def test_chunk_size_one(self):
+        chunks = list(iter_chunks(10, 5, failed_physical=1, chunk_stripes=1))
+        assert all(c.n_stripes == 1 for c in chunks)
+        assert len(chunks) == 10
+
+    def test_oversized_chunk_is_one_per_class(self):
+        chunks = list(iter_chunks(21, 7, failed_physical=0, chunk_stripes=999))
+        assert len(chunks) == 7  # one per non-empty rotation class
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(10, 5, 0, chunk_stripes=0))
+        with pytest.raises(IndexError):
+            list(iter_chunks(10, 5, 5, chunk_stripes=1))

@@ -1,0 +1,152 @@
+"""SchemePlanCache: hit equivalence, key invalidation, corruption handling."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.codes import make_code
+from repro.recovery import RecoveryPlanner, SchemePlanCache, plan_key
+from repro.recovery.ualgorithm import u_scheme
+
+
+class TestPlanKey:
+    def test_deterministic(self):
+        code = make_code("rdp", 7)
+        assert plan_key(code, 0, "u", 1) == plan_key(code, 0, "u", 1)
+
+    def test_every_component_changes_key(self):
+        rdp = make_code("rdp", 7)
+        base = plan_key(rdp, 0, "u", 1)
+        assert plan_key(rdp, 1, "u", 1) != base           # failed disk
+        assert plan_key(rdp, 0, "c", 1) != base           # algorithm
+        assert plan_key(rdp, 0, "u", 2) != base           # depth
+        assert plan_key(rdp, 0, "u", 1, 1000) != base     # budget
+        assert plan_key(make_code("rdp", 8), 0, "u", 1) != base   # geometry
+        assert plan_key(make_code("evenodd", 7), 0, "u", 1) != base  # matrix
+
+
+class TestCacheHitEquivalence:
+    def test_hit_equals_fresh_search(self, tmp_path):
+        code = make_code("evenodd", 7)
+        cache = SchemePlanCache(tmp_path / "plans.json")
+        planner = RecoveryPlanner(code, algorithm="u", depth=1,
+                                  plan_cache=cache)
+        stored = planner.all_disk_schemes()
+        # a fresh planner over the same store must serve identical plans
+        warm = RecoveryPlanner(
+            code, algorithm="u", depth=1,
+            plan_cache=SchemePlanCache(tmp_path / "plans.json"),
+        )
+        for disk, cold in enumerate(stored):
+            fresh = u_scheme(code, disk, depth=1)
+            hit = warm.scheme_for_disk(disk)
+            assert hit.metadata.get("plan_cache") == "hit"
+            for scheme in (fresh, hit):
+                assert scheme.equations == cold.equations
+                assert scheme.read_mask == cold.read_mask
+                assert scheme.failed_eids == cold.failed_eids
+            hit.validate(code)
+
+    def test_generator_change_invalidates_by_key(self, tmp_path):
+        store = tmp_path / "plans.json"
+        rdp = RecoveryPlanner(
+            make_code("rdp", 7), algorithm="u", depth=1,
+            plan_cache=SchemePlanCache(store),
+        )
+        rdp.all_disk_schemes()
+        # same geometry, different generator matrix -> all misses
+        cache = SchemePlanCache(store)
+        evenodd = RecoveryPlanner(
+            make_code("evenodd", 7), algorithm="u", depth=1, plan_cache=cache
+        )
+        evenodd.all_disk_schemes()
+        assert cache.hits == 0
+        assert cache.misses == make_code("evenodd", 7).layout.n_disks
+
+    def test_memory_lru_bound(self):
+        code = make_code("rdp", 7)
+        cache = SchemePlanCache(max_entries=2)
+        planner = RecoveryPlanner(code, algorithm="u", depth=1,
+                                  plan_cache=cache)
+        planner.all_disk_schemes()
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            SchemePlanCache(max_entries=0)
+
+    def test_parallel_generation_fills_cache(self, tmp_path):
+        code = make_code("rdp", 7)
+        cache = SchemePlanCache(tmp_path / "plans.json")
+        planner = RecoveryPlanner(code, algorithm="u", depth=1,
+                                  plan_cache=cache)
+        planner.generate_all_parallel(workers=2)
+        assert cache.stats()["disk_entries"] == code.layout.n_disks
+        # second parallel pass over a fresh planner is all cache hits
+        cache2 = SchemePlanCache(tmp_path / "plans.json")
+        planner2 = RecoveryPlanner(code, algorithm="u", depth=1,
+                                   plan_cache=cache2)
+        planner2.generate_all_parallel(workers=2)
+        assert cache2.hits == code.layout.n_disks
+        assert cache2.misses == 0
+
+
+class TestCorruptedStores:
+    @pytest.mark.parametrize("content", [
+        "{not json",                                      # unparsable
+        json.dumps([1, 2, 3]),                            # wrong root type
+        json.dumps({"version": 999, "plans": {}}),        # wrong version
+        json.dumps({"version": 1}),                       # missing plans
+        json.dumps({"version": 1, "plans": {"k": {"x": 1}}}),  # bad record
+    ])
+    def test_corrupted_store_warns_never_raises(self, tmp_path, content):
+        store = tmp_path / "plans.json"
+        store.write_text(content)
+        with pytest.warns(UserWarning, match="ignoring unusable plan cache"):
+            cache = SchemePlanCache(store)
+        # degraded to cold but fully functional
+        code = make_code("rdp", 7)
+        planner = RecoveryPlanner(code, algorithm="u", depth=1,
+                                  plan_cache=cache)
+        scheme = planner.scheme_for_disk(0)
+        scheme.validate(code)
+        assert cache.misses == 1 and cache.stores == 1
+
+    def test_corrupt_store_is_rewritten_clean(self, tmp_path):
+        store = tmp_path / "plans.json"
+        store.write_text("garbage")
+        code = make_code("rdp", 7)
+        with pytest.warns(UserWarning):
+            cache = SchemePlanCache(store)
+        RecoveryPlanner(code, algorithm="u", depth=1,
+                        plan_cache=cache).scheme_for_disk(0)
+        reloaded = json.loads(store.read_text())
+        assert reloaded["version"] == 1
+        assert len(reloaded["plans"]) == 1
+
+    def test_missing_store_starts_cold_silently(self, tmp_path):
+        cache = SchemePlanCache(tmp_path / "absent.json")
+        assert cache.stats()["disk_entries"] == 0
+
+
+class TestObsCounters:
+    def test_warm_run_skips_search_entirely(self, tmp_path):
+        code = make_code("rdp", 7)
+        store = tmp_path / "plans.json"
+        RecoveryPlanner(
+            code, algorithm="u", depth=1, plan_cache=SchemePlanCache(store)
+        ).all_disk_schemes()
+
+        rec = obs.enable(label="warm")
+        try:
+            planner = RecoveryPlanner(
+                code, algorithm="u", depth=1,
+                plan_cache=SchemePlanCache(store),
+            )
+            planner.all_disk_schemes()
+        finally:
+            obs.disable()
+        counters = {c.name: c.value for c in rec.counters.values()}
+        assert counters.get("plancache.hit", 0) == code.layout.n_disks
+        assert counters.get("planner.schemes_generated", 0) == 0
+        assert counters.get("search.expanded", 0) == 0
+        assert rec.gauges["plancache.size"].value == code.layout.n_disks

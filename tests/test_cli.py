@@ -154,6 +154,30 @@ class TestCommands:
         text = out_file.read_text()
         assert "Reproduction report" in text
 
+    def test_rebuild_inline(self, capsys):
+        assert main(["rebuild", "--family", "rdp", "--disks", "7",
+                     "--stripes", "16", "--element-size", "64",
+                     "--workers", "1", "--chunk-stripes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "inline-batch" in out
+        assert "MB/s" in out
+        assert "byte-exact" in out
+
+    def test_rebuild_parallel_with_plan_cache(self, capsys, tmp_path):
+        store = tmp_path / "plans.json"
+        args = ["rebuild", "--family", "evenodd", "--disks", "7",
+                "--failed-disk", "2", "--stripes", "24",
+                "--element-size", "64", "--workers", "2",
+                "--chunk-stripes", "3", "--plan-cache", str(store)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert "miss(es)" in out
+        assert store.exists()
+        # warm run served from the on-disk store
+        assert main(args) == 0
+        assert "0 miss(es)" in capsys.readouterr().out
+
 
 class TestErrorContract:
     """Unknown families / invalid geometry: one-line stderr, exit 2."""

@@ -8,7 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ["gf2", "codes", "equations", "recovery", "codec", "faults",
-               "disksim", "analysis"]
+               "disksim", "analysis", "obs", "pipeline"]
 
 
 def _walk_modules():
