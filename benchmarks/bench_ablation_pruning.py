@@ -72,7 +72,7 @@ def test_budget_fallback_quality(benchmark, results_dir):
         rounds=1,
         iterations=1,
     )
-    rows = [f"budget sweep, rdp @ 13 disks: exact = "
+    rows = ["budget sweep, rdp @ 13 disks: exact = "
             f"(max={exact.max_load}, total={exact.total_reads}) "
             f"in {exact.expanded_states} states"]
     for budget in (50, 500, 5000):

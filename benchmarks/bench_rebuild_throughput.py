@@ -270,7 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
 
     if verbose:
-        print(f"speedup: batch/stripe_loop "
+        print("speedup: batch/stripe_loop "
               f"{speedup['batch_vs_stripe_loop_geomean']:.2f}x, "
               f"best/stripe_loop {speedup['best_vs_stripe_loop_geomean']:.2f}x")
         pv = ", ".join(f"{w}w {v:.2f}x"
@@ -288,9 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = []
         if speedup["best_vs_stripe_loop_geomean"] < 2.5:
             failures.append(
-                f"best rebuild path is only "
+                "best rebuild path is only "
                 f"{speedup['best_vs_stripe_loop_geomean']:.2f}x the "
-                f"per-stripe engine (< 2.5x)"
+                "per-stripe engine (< 2.5x)"
             )
         if plan_cache["warm_searches_run"] != 0:
             failures.append("warm plan-cache run still ran a search")

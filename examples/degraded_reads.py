@@ -56,12 +56,12 @@ def main() -> None:
         failed_disk=failed,
         degraded_plans=plans,
     )
-    print(f"\nonline recovery with degraded service:")
+    print("\nonline recovery with degraded service:")
     print(f"  {res.user_requests_served} user reads served "
           f"({n_degraded} reconstructed on the fly)")
     print(f"  mean latency {res.user_mean_latency_s*1000:.1f} ms, "
           f"p95 {res.user_p95_latency_s*1000:.1f} ms")
-    print(f"  recovery of 30 stripes finished at "
+    print("  recovery of 30 stripes finished at "
           f"{res.recovery_finish_s:.1f} s")
 
 

@@ -36,7 +36,7 @@ def main() -> None:
     header = "  ".join(f"d{d}" for d in range(lay.n_disks))
     print(f"{'scheme':10s}  {header}   max_cost")
     for name, scheme in (("uniform-U", uniform), ("weighted-U", weighted)):
-        loads = "  ".join(f"{l:2d}" for l in scheme.loads)
+        loads = "  ".join(f"{load:2d}" for load in scheme.loads)
         print(f"{name:10s}  {loads}   {scheme.weighted_max_load(weights):6.1f}")
 
     print("\nSimulated recovery on the heterogeneous array:")

@@ -15,10 +15,9 @@ ahead of time, use whenever needed" deployment (Sec. II-B).
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import improvement_percent
 from repro.codes.base import ErasureCode

@@ -32,6 +32,6 @@ def logical_role(physical_disk: int, rotation: int, n_disks: int) -> int:
 def rotation_schedule(n_disks: int) -> List[List[int]]:
     """``schedule[r][logical] = physical`` for every rotation of one stack."""
     return [
-        [rotate_disk(l, r, n_disks) for l in range(n_disks)]
+        [rotate_disk(ld, r, n_disks) for ld in range(n_disks)]
         for r in range(n_disks)
     ]

@@ -24,6 +24,12 @@ Subcommands
     rebuild it with the shared-memory stripe pipeline (``--workers``,
     ``--chunk-stripes``) and verify byte-identity.  ``--plan-cache PATH``
     persists recovery plans so repeat runs skip the scheme search.
+``serve``
+    Online degraded-read serving: closed-loop clients read from the
+    array while the failed disk rebuilds in the background; the QoS
+    controller throttles rebuild chunk dispatch to hold read p99 at the
+    target (``--no-qos`` for the FIFO baseline).  Prints latency
+    percentiles, path counters and byte-exactness.
 ``trace``
     Run the scheme pipeline (enumerate, search, verify, simulate) with
     the :mod:`repro.obs` recorder enabled and write a JSONL trace;
@@ -292,6 +298,124 @@ def _cmd_rebuild(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.codec import ArrayImageCodec
+    from repro.faults import FaultPlan
+    from repro.recovery import RecoveryPlanner, SchemePlanCache
+    from repro.serving import (
+        DegradedPlanCache,
+        QosController,
+        ServingEngine,
+        SimulatedDisksIoModel,
+        build_workload_requests,
+        run_closed_loop,
+    )
+
+    try:
+        fault_plan = FaultPlan.parse(args.inject)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    code = make_code(args.family, args.disks)
+    codec = ArrayImageCodec(
+        code, element_size=args.element_size, n_stripes=args.stripes
+    )
+    rng = np.random.default_rng(args.seed)
+    disks = codec.encode_image(codec.random_image(rng))
+    original = disks.copy()
+
+    plan_store = SchemePlanCache(args.plan_cache) if args.plan_cache else None
+    planner = RecoveryPlanner(
+        code, algorithm=args.algorithm, depth=args.depth, plan_cache=plan_store
+    )
+    plans = DegradedPlanCache(code, planner=planner, store=plan_store)
+    qos = (
+        None
+        if args.no_qos
+        else QosController(target_p99_ms=args.target_p99_ms)
+    )
+    io_model = SimulatedDisksIoModel(
+        code.layout.n_disks, element_read_ms=args.element_read_ms
+    )
+    engine = ServingEngine(
+        codec,
+        disks,
+        args.failed_disk,
+        planner=planner,
+        plans=plans,
+        qos=qos,
+        io_model=io_model,
+        fault_plan=fault_plan if fault_plan else None,
+    )
+    n_plans = engine.warm_plans()
+    total_rows = codec.n_stripes * code.layout.k_rows
+    request_lists = [
+        build_workload_requests(
+            args.workload,
+            code.layout.n_disks,
+            total_rows,
+            args.failed_disk,
+            args.requests,
+            seed=args.seed + i,
+            rate_per_s=args.client_rate,
+        )
+        for i in range(args.clients)
+    ]
+    print(code.describe())
+    print(
+        f"serving : disk {args.failed_disk} failed, {args.clients} "
+        f"{args.workload} client(s) at {args.client_rate:.0f} req/s each, "
+        f"qos {'off' if args.no_qos else f'target p99 {args.target_p99_ms}ms'}"
+    )
+    report = run_closed_loop(
+        engine,
+        request_lists,
+        expected=original,
+        rebuild_workers=args.workers,
+        chunk_stripes=args.chunk_stripes,
+        settle_reads=args.settle_reads,
+        pace=True,
+    )
+    stats = engine.stats()
+    rebuilt_ok = engine.rebuild_result is not None and np.array_equal(
+        engine.rebuild_result.image, original[args.failed_disk]
+    )
+    print(
+        f"plans   : {n_plans} degraded plans warmed"
+        + (f" (store: {args.plan_cache})" if args.plan_cache else "")
+    )
+    print(
+        f"reads   : {report.reads} served ({stats['direct']} direct, "
+        f"{stats['degraded']} degraded, {stats['patched']} patched, "
+        f"{stats['coalesced']} coalesced)"
+    )
+    print(
+        f"latency : p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms "
+        f"over {report.samples_during} during-rebuild samples"
+    )
+    print(f"rebuild : completed in {report.rebuild_wall_s:.3f} s")
+    if qos is not None:
+        q = stats["qos"]
+        rate = q["rebuild_rate"]
+        print(
+            f"qos     : {q['rate_decreases']} slowdown(s), "
+            f"{q['rate_increases']} speedup(s), "
+            f"throttle wait {q['throttle_wait_s'] * 1e3:.1f} ms, final rate "
+            + ("uncapped" if rate == float("inf") else f"{rate:.1f} chunks/s")
+        )
+    if stats["resilient"]:
+        print(f"faults  : {stats['resilient']} read(s) went resilient")
+    ok = report.ok and rebuilt_ok
+    verdict = "byte-exact" if ok else (
+        f"{report.mismatches} MISMATCHES, errors={report.errors}, "
+        f"rebuild {'ok' if rebuilt_ok else 'MISMATCH'}"
+    )
+    print(f"verify  : {verdict}")
+    return 0 if ok else 1
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.disksim.recovery_sim import simulate_stack_recovery as sim
@@ -446,6 +570,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent JSON scheme-plan cache")
 
     p = sub.add_parser(
+        "serve", help="degraded-read serving while the disk rebuilds"
+    )
+    _add_code_args(p)
+    p.add_argument("--failed-disk", type=int, default=0,
+                   help="failed *physical* disk")
+    p.add_argument("--algorithm", default="u", choices=["khan", "c", "u"])
+    p.add_argument("--depth", type=int, default=1)
+    p.add_argument("--stripes", type=int, default=64)
+    p.add_argument("--element-size", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workload", default="hotspot",
+                   choices=["hotspot", "sequential"])
+    p.add_argument("--clients", type=int, default=2)
+    p.add_argument("--requests", type=int, default=500,
+                   help="trace length per client (replayed in a loop)")
+    p.add_argument("--client-rate", type=float, default=300.0,
+                   help="per-client offered request rate (req/s)")
+    p.add_argument("--no-qos", action="store_true",
+                   help="disable the QoS controller (FIFO disks, no pacing)")
+    p.add_argument("--target-p99-ms", type=float, default=5.0)
+    p.add_argument("--element-read-ms", type=float, default=0.25,
+                   help="simulated per-element disk service time")
+    p.add_argument("--workers", type=int, default=0,
+                   help="rebuild pipeline workers (0 = inline)")
+    p.add_argument("--chunk-stripes", type=int, default=16)
+    p.add_argument("--settle-reads", type=int, default=5,
+                   help="post-rebuild reads per client")
+    p.add_argument("--plan-cache", default=None, metavar="PATH",
+                   help="persistent JSON degraded-plan cache")
+    p.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="fault spec, repeatable: lse:DISK:ROW[:STRIPE] | "
+        "corrupt:DISK:ROW[:STRIPE] | slow:DISK[:FACTOR] | die:DISK[:STRIPE]",
+    )
+
+    p = sub.add_parser(
         "trace", help="write a JSONL pipeline trace (or validate one)"
     )
     _add_code_args(p)
@@ -483,6 +646,7 @@ _COMMANDS: Dict[str, Callable] = {
     "degraded": _cmd_degraded,
     "recover": _cmd_recover,
     "rebuild": _cmd_rebuild,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "report": _cmd_report,
 }

@@ -14,7 +14,7 @@ over all spindles.  This module provides that layout at byte granularity:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

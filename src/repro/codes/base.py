@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional
 
 from repro.codes.layout import CodeLayout
 from repro.gf2 import BitMatrix

@@ -16,7 +16,7 @@ from typing import List
 
 from repro.codes.base import ErasureCode
 from repro.codes.layout import CodeLayout
-from repro.gf2 import BitMatrix, GF2w
+from repro.gf2 import GF2w
 
 
 class CauchyRSCode(ErasureCode):

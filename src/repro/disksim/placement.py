@@ -26,7 +26,6 @@ from repro.codes.base import ErasureCode
 from repro.disksim.array import DiskArraySimulator
 from repro.disksim.disk import SAVVIO_10K3, DiskParams
 from repro.recovery.planner import RecoveryPlanner
-from repro.recovery.scheme import RecoveryScheme
 
 
 class FlatPlacement:

@@ -13,7 +13,7 @@ is excluded, exactly as the paper defines recovery time (Sec. I).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.codes.base import ErasureCode
 from repro.disksim.array import DiskArraySimulator

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)

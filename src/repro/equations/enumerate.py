@@ -32,8 +32,8 @@ mutate them freely.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.codes.base import ErasureCode
@@ -110,9 +110,11 @@ def _dedupe_and_prune(
     cheapest and most spread-out reads first.
     """
     if layout is not None:
-        sort_key = lambda kv: (kv[0].bit_count(), layout.max_load(kv[0]), kv[0])
+        def sort_key(kv):
+            return (kv[0].bit_count(), layout.max_load(kv[0]), kv[0])
     else:
-        sort_key = lambda kv: (kv[0].bit_count(), kv[0])
+        def sort_key(kv):
+            return (kv[0].bit_count(), kv[0])
     ordered = sorted(raw.items(), key=sort_key)
     kept: List[EquationOption] = []
     kept_by_pc: Dict[int, List[int]] = {}

@@ -37,7 +37,7 @@ import multiprocessing as mp
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -135,6 +135,18 @@ class RebuildPipeline:
         Optional persistent plan store handed to a freshly built planner.
     algorithm / depth:
         Scheme search configuration when no planner is supplied.
+    throttle:
+        Optional hook called with each :class:`StripeChunk` *before* it is
+        gathered and dispatched.  Blocking inside the hook delays rebuild
+        work without touching anything else — this is the admission-control
+        point the QoS scheduler in :mod:`repro.serving` plugs into.
+        Applies to the chunked paths (``use_batch=True``).
+    on_chunk:
+        Optional hook called after each chunk's recovered rows have been
+        patched into the rebuilt image, with ``(chunk, rows)`` where
+        ``rows`` is a ``(n_stripes, k_rows, element_size)`` view valid
+        only for the duration of the callback (copy to keep).  Chunks are
+        delivered in chunk-id order.  Applies to the chunked paths.
     """
 
     def __init__(
@@ -146,6 +158,8 @@ class RebuildPipeline:
         plan_cache: Optional[SchemePlanCache] = None,
         algorithm: str = "u",
         depth: int = 1,
+        throttle: Optional[Callable[[StripeChunk], None]] = None,
+        on_chunk: Optional[Callable[[StripeChunk, np.ndarray], None]] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -154,6 +168,8 @@ class RebuildPipeline:
         self.codec = codec
         self.workers = workers
         self.chunk_stripes = min(chunk_stripes, max(1, codec.n_stripes))
+        self.throttle = throttle
+        self.on_chunk = on_chunk
         self.planner = planner or RecoveryPlanner(
             codec.code, algorithm=algorithm, depth=depth, plan_cache=plan_cache
         )
@@ -345,6 +361,8 @@ class RebuildPipeline:
             dtype=np.uint8,
         )
         for chunk in chunks:
+            if self.throttle is not None:
+                self.throttle(chunk)
             n = chunk.n_stripes
             self._gather_chunk(disks, chunk, in_buf[:n])
             compiled[chunk.logical_disk].recover_batch_into(
@@ -352,6 +370,8 @@ class RebuildPipeline:
             )
             self._patch_chunk(rebuilt, chunk, out_buf[:n])
             self._bill_reads(reads_per_disk, chunk, schemes[chunk.logical_disk])
+            if self.on_chunk is not None:
+                self.on_chunk(chunk, out_buf[:n])
             obs.count("pipeline.chunks")
 
     # ------------------------------------------------------------------
@@ -403,6 +423,8 @@ class RebuildPipeline:
                     # keep the arena full: gather + dispatch while slots last
                     while free_slots and pending:
                         chunk = pending.popleft()
+                        if self.throttle is not None:
+                            self.throttle(chunk)
                         slot = free_slots.pop()
                         self._gather_chunk(
                             disks, chunk, arena.input_view(slot, chunk.n_stripes)
@@ -438,6 +460,11 @@ class RebuildPipeline:
                         self._bill_reads(
                             reads_per_disk, chunk, schemes[chunk.logical_disk]
                         )
+                        if self.on_chunk is not None:
+                            self.on_chunk(
+                                chunk,
+                                arena.output_view(pslot, chunk.n_stripes),
+                            )
                         free_slots.append(pslot)
                         next_patch += 1
                         obs.count("pipeline.chunks")

@@ -16,6 +16,7 @@ from repro.recovery.degraded_read import (
     build_degraded_plans,
     degraded_read_scheme,
     serve_degraded_read,
+    slice_degraded_plan,
 )
 from repro.recovery.escalation import escalated_scheme, execute_escalated
 from repro.recovery.greedy import greedy_scheme, greedy_scheme_for_mask
@@ -81,6 +82,7 @@ __all__ = [
     "greedy_scheme",
     "greedy_scheme_for_mask",
     "serve_degraded_read",
+    "slice_degraded_plan",
     "conditional_cost",
     "generate_scheme",
     "khan_cost",

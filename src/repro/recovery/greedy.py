@@ -15,7 +15,7 @@ order-sensitive once equations may reference earlier-recovered elements.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.codes.base import ErasureCode
 from repro.equations.enumerate import RecoveryEquations, get_recovery_equations

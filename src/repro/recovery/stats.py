@@ -10,7 +10,7 @@ properties for analysis, docs and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.recovery.scheme import RecoveryScheme
 

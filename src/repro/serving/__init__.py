@@ -1,0 +1,48 @@
+"""On-line degraded-read serving with QoS-aware rebuild throttling.
+
+The serving layer answers user element reads against an array whose
+failed disk is being rebuilt in the background, byte-exactly and with a
+latency objective:
+
+* :class:`~repro.serving.engine.ServingEngine` — the concurrent read
+  path: direct reads, patched-frontier reads, coalesced on-the-fly
+  reconstructions (optionally through the resilient executor);
+* :class:`~repro.serving.plans.DegradedPlanCache` — search-free
+  per-element degraded plans, persistent via ``SchemePlanCache`` keying;
+* :class:`~repro.serving.qos.QosController` — token-bucket admission for
+  rebuild chunks with AIMD rate adaptation on read p99;
+* :class:`~repro.serving.iomodel.SimulatedDisksIoModel` — deterministic
+  per-spindle disk-time accounting for contention experiments;
+* :class:`~repro.serving.clients.ClosedLoopClient` /
+  :func:`~repro.serving.clients.run_closed_loop` — workload-driven
+  closed-loop verification harness.
+
+See ``docs/serving.md`` for the architecture and the benchmark
+methodology behind ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.clients import (
+    ClosedLoopClient,
+    ServeReport,
+    build_workload_requests,
+    run_closed_loop,
+)
+from repro.serving.engine import ServingEngine
+from repro.serving.iomodel import NullIoModel, SimulatedDisksIoModel
+from repro.serving.plans import DegradedPlanCache
+from repro.serving.qos import LatencyWindow, QosController, TokenBucket, percentile
+
+__all__ = [
+    "ClosedLoopClient",
+    "DegradedPlanCache",
+    "LatencyWindow",
+    "NullIoModel",
+    "QosController",
+    "ServeReport",
+    "ServingEngine",
+    "SimulatedDisksIoModel",
+    "TokenBucket",
+    "build_workload_requests",
+    "percentile",
+    "run_closed_loop",
+]

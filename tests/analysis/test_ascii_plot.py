@@ -36,7 +36,9 @@ class TestAsciiPlot:
         """Increasing values move up the grid."""
         out = ascii_plot([1, 2], {"s": [0.0, 10.0]}, height=5)
         lines = out.splitlines()
-        rows_with_glyph = [i for i, l in enumerate(lines) if "o" in l and "|" in l]
+        rows_with_glyph = [
+            i for i, ln in enumerate(lines) if "o" in ln and "|" in ln
+        ]
         first, second = rows_with_glyph
         # higher value appears on an earlier (upper) line
         assert first < second

@@ -63,9 +63,9 @@ class TestStack:
     def test_rotation_roundtrip(self):
         n = 8
         for r in range(n):
-            for l in range(n):
-                p = rotate_disk(l, r, n)
-                assert logical_role(p, r, n) == l
+            for ld in range(n):
+                p = rotate_disk(ld, r, n)
+                assert logical_role(p, r, n) == ld
 
     def test_schedule_is_latin_square(self):
         n = 5

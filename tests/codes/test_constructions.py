@@ -18,7 +18,6 @@ from repro.codes import (
     RdpCode,
     StarCode,
 )
-from repro.gf2.linalg import rank
 
 ALL_SMALL_CODES = [
     pytest.param(lambda: Raid4Code(4, 3), id="raid4"),

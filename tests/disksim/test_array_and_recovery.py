@@ -6,11 +6,10 @@ from repro.codes import RdpCode, make_code
 from repro.disksim import (
     SAVVIO_10K3,
     DiskArraySimulator,
-    DiskParams,
     simulate_stack_recovery,
 )
 from repro.disksim.recovery_sim import compare_schemes_speed
-from repro.recovery import RecoveryPlanner, khan_scheme, naive_scheme, u_scheme
+from repro.recovery import RecoveryPlanner, naive_scheme, u_scheme
 
 
 @pytest.fixture(scope="module")

@@ -21,12 +21,30 @@ class TestBuildPlans:
     def test_one_plan_per_row(self, rdp5, plans):
         assert set(plans) == set(range(rdp5.layout.k_rows))
         for row, plan in plans.items():
-            assert plan.failed_eids == [rdp5.layout.eid(0, row)]
+            # sliced plans may carry dependency elements of the same disk;
+            # the requested row is always the final recovery step
+            eid = rdp5.layout.eid(0, row)
+            assert plan.failed_eids[-1] == eid
+            assert plan.failed_mask & rdp5.layout.disk_mask(0) == plan.failed_mask
             plan.validate(rdp5)
 
     def test_plans_avoid_failed_disk(self, rdp5, plans):
         for plan in plans.values():
             assert plan.read_mask & rdp5.layout.disk_mask(0) == 0
+
+    def test_one_search_per_disk(self, rdp5):
+        """Building the whole per-row table must cost exactly one scheme
+        search (the historical behaviour searched once per row)."""
+        from repro import obs
+
+        rec = obs.enable(label="build_degraded_plans search count")
+        try:
+            table = build_degraded_plans(rdp5, failed_disk=0)
+        finally:
+            obs.disable()
+        counters = {c.name: c.value for c in rec.counters.values()}
+        assert counters.get("planner.schemes_generated", 0) == 1
+        assert len(table) == rdp5.layout.k_rows
 
 
 class TestDegradedService:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.codes import RdpCode, make_code
+from repro.codes import make_code
 from repro.disksim.placement import (
     FlatPlacement,
     RotatedPlacement,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codes import RdpCode
-from repro.disksim import SAVVIO_10K3, DiskParams
+from repro.disksim import DiskParams
 from repro.disksim.rebuild import simulate_rebuild
 from repro.recovery import RecoveryPlanner
 

@@ -1,7 +1,5 @@
 """Tests for the Gaussian-elimination decoding-equation fallback."""
 
-import pytest
-
 from repro.codes import CauchyRSCode, RdpCode, StarCode
 from repro.equations import gaussian_recovery_equations, get_recovery_equations
 

@@ -1,7 +1,6 @@
 """Property-based invariants across random codes and failure situations."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

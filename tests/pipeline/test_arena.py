@@ -1,6 +1,5 @@
 """Shared-memory arena: geometry, cross-handle visibility, lifecycle."""
 
-import numpy as np
 import pytest
 
 from repro.pipeline import SharedArena

@@ -118,8 +118,6 @@ class TestParallelPipeline:
         assert np.array_equal(result.image, disks[0])
 
     def test_worker_failure_surfaces(self, monkeypatch):
-        import repro.pipeline.engine as engine_mod
-
         codec, disks = build_image(element_size=16, n_stripes=21)
         pipe = RebuildPipeline(codec, workers=2, chunk_stripes=2)
         # poison the schemes so every worker chunk blows up

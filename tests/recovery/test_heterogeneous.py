@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codes import RdpCode
-from repro.disksim import SAVVIO_10K3, DiskParams
+from repro.disksim import SAVVIO_10K3
 from repro.recovery.heterogeneous import (
     heterogeneous_u_scheme,
     weights_from_disk_params,

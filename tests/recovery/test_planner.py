@@ -144,13 +144,11 @@ class TestPlanner:
 
         planner_mod._init_worker(code, "u", 1, None)
 
-        def boom(disk):
+        def boom(self, disk):
             raise RuntimeError("search exploded")
 
         original = planner_mod.RecoveryPlanner._generate
-        planner_mod.RecoveryPlanner._generate = (
-            lambda self, disk: boom(disk)
-        )
+        planner_mod.RecoveryPlanner._generate = boom
         try:
             with pytest.raises(RuntimeError, match="disk 3"):
                 planner_mod._generate_one(3)

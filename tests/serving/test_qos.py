@@ -1,0 +1,163 @@
+"""QoS primitives: percentiles, token bucket, AIMD controller."""
+
+import time
+
+import pytest
+
+from repro.serving import LatencyWindow, QosController, TokenBucket, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank_known_values(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(data, 0.5) == 5.0
+        assert percentile(data, 0.99) == 10.0
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyWindow:
+    def test_sliding_window_evicts(self):
+        w = LatencyWindow(size=4)
+        for v in (10.0, 10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            w.record(v)
+        assert len(w) == 4
+        assert w.percentile(0.99) == 1.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(size=0)
+
+
+class TestTokenBucket:
+    def test_uncapped_never_blocks(self):
+        b = TokenBucket(rate=None)
+        assert b.acquire() == 0.0
+        assert b.acquire(100.0) == 0.0
+
+    def test_capped_rate_paces(self):
+        # capacity 1 token, 200 tokens/s: 3 extra tokens need ~15ms
+        b = TokenBucket(rate=200.0, capacity=1.0)
+        b.acquire()  # drain the initial token
+        t0 = time.perf_counter()
+        for _ in range(3):
+            b.acquire()
+        elapsed = time.perf_counter() - t0
+        assert elapsed >= 0.010
+
+    def test_max_wait_caps_blocking_and_takes_tokens(self):
+        b = TokenBucket(rate=1.0, capacity=1.0)
+        b.acquire()
+        t0 = time.perf_counter()
+        waited = b.acquire(max_wait=0.02)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.5
+        assert waited <= 0.02 + 1e-6
+
+    def test_set_rate_validates(self):
+        b = TokenBucket(rate=1.0)
+        with pytest.raises(ValueError):
+            b.set_rate(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0.0)
+
+
+class TestQosController:
+    def _controller(self, **kw):
+        kw.setdefault("target_p99_ms", 5.0)
+        kw.setdefault("min_samples", 4)
+        kw.setdefault("adjust_interval_s", 0.0)
+        return QosController(**kw)
+
+    def _feed(self, qos, latency_s, n=8):
+        for _ in range(n):
+            qos.read_started()
+            qos.read_finished(latency_s)
+
+    def test_overload_throttles_to_floor(self):
+        qos = self._controller()
+        # one observed chunk of 10ms sets the EMA and hence the floor
+        qos.before_chunk()
+        time.sleep(0.01)
+        qos.after_chunk()
+        self._feed(qos, 0.050)  # p99 = 50ms >> 5ms target
+        rate = qos.bucket.rate
+        assert rate is not None
+        floor = 1.0 / (qos._ema_chunk_s * (1.0 + qos.max_inflation))
+        assert rate == pytest.approx(floor, rel=0.05)
+        assert qos.rate_decreases >= 1
+
+    def test_recovery_reaccelerates(self):
+        qos = self._controller()
+        qos.before_chunk()
+        time.sleep(0.005)
+        qos.after_chunk()
+        self._feed(qos, 0.050)
+        throttled = qos.bucket.rate
+        assert throttled is not None
+        # latencies recover well under target: rate must climb again
+        self._feed(qos, 0.0001, n=qos.window._lat.maxlen)
+        assert qos.rate_increases >= 1
+        assert qos.bucket.rate is None or qos.bucket.rate > throttled
+
+    def test_floor_bounds_pacing_inflation(self):
+        # even under permanent overload the pacing delay per chunk is
+        # bounded by max_inflation times the chunk duration
+        qos = self._controller(max_inflation=0.5)
+        for _ in range(3):
+            qos.before_chunk()
+            time.sleep(0.004)
+            qos.after_chunk()
+        self._feed(qos, 1.0, n=16)  # hopeless latencies: full throttle
+        t0 = time.perf_counter()
+        qos.before_chunk()
+        waited = time.perf_counter() - t0
+        qos.after_chunk()
+        assert waited <= qos._ema_chunk_s * 0.5 + 0.05
+
+    def test_constructor_validation(self):
+        for kw in (
+            {"target_p99_ms": 0.0},
+            {"max_inflation": 0.0},
+            {"decrease": 1.0},
+            {"increase": 1.0},
+            {"recover_fraction": 0.0},
+            {"recover_fraction": 1.5},
+        ):
+            with pytest.raises(ValueError):
+                QosController(**kw)
+
+    def test_stats_keys(self):
+        qos = self._controller()
+        stats = qos.stats()
+        for key in (
+            "target_p99_ms",
+            "read_p99_ms",
+            "rebuild_rate",
+            "ema_chunk_ms",
+            "throttle_wait_s",
+            "rate_decreases",
+            "rate_increases",
+            "chunks_admitted",
+        ):
+            assert key in stats
+
+    def test_pending_reads_tracks_inflight(self):
+        qos = self._controller()
+        qos.read_started()
+        qos.read_started()
+        assert qos.pending_reads == 2
+        qos.read_finished(0.001)
+        assert qos.pending_reads == 1

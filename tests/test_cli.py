@@ -105,6 +105,41 @@ class TestCommands:
                      "--inject", "die:2:1", "--inject", "die:3:2"]) == 1
         assert "UNRECOVERABLE" in capsys.readouterr().out
 
+    def test_serve_hotspot_with_qos(self, capsys, tmp_path):
+        store = tmp_path / "plans.json"
+        assert main(["serve", "--family", "rdp", "--disks", "7",
+                     "--stripes", "14", "--element-size", "32",
+                     "--requests", "100", "--clients", "2",
+                     "--chunk-stripes", "7", "--element-read-ms", "0.1",
+                     "--plan-cache", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "qos" in out
+        assert "byte-exact" in out
+        assert store.exists()
+
+    def test_serve_sequential_no_qos(self, capsys):
+        assert main(["serve", "--family", "rdp", "--disks", "7",
+                     "--stripes", "14", "--element-size", "32",
+                     "--requests", "100", "--workload", "sequential",
+                     "--no-qos", "--chunk-stripes", "7",
+                     "--element-read-ms", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "qos off" in out
+        assert "byte-exact" in out
+
+    def test_serve_with_faults(self, capsys):
+        assert main(["serve", "--family", "rdp", "--disks", "7",
+                     "--stripes", "7", "--element-size", "32",
+                     "--requests", "60", "--chunk-stripes", "7",
+                     "--element-read-ms", "0.1",
+                     "--inject", "lse:1:0:0"]) == 0
+        assert "byte-exact" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_inject(self, capsys):
+        assert main(["serve", "--family", "rdp", "--disks", "7",
+                     "--inject", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_trace_writes_valid_jsonl(self, capsys, tmp_path):
         from repro.obs import validate_trace_file
 
