@@ -28,10 +28,27 @@ via counters, not timing — that steady-state serving performs **zero**
 scheme searches (``search.expanded == 0``,
 ``planner.schemes_generated == 0``, plan-cache hits > 0).
 
+Three further legs benchmark the sharded frontend and its native hot
+path (``repro.serving.sharded`` / ``repro.recovery.ckernel``):
+
+* ``kernel`` — microbenchmark of the batched wide-XOR C kernel against
+  the pure-numpy fold and the per-element Python executor on one
+  reconstruction plan, asserting byte identity;
+* ``scale`` — the sharded open-loop **scale grid**: the *identical*
+  paced hotspot trace replayed at a fixed offered load through 1/2/4/8
+  shard workers, reporting aggregate throughput and latency percentiles
+  per shard count;
+* ``baseline`` — 1-shard sharded vs the single-process PR 5 engine on
+  the identical trace at a sustainable rate: the sharded frontend must
+  not regress p99 at one shard.
+
 Results land in ``BENCH_serving.json`` at the repo root.  ``--check``
 enforces the acceptance bars: byte-exact service, QoS p99 at most 0.7x
-the unthrottled p99, rebuild inflation at most 1.5x, and the zero-search
-proof.
+the unthrottled p99, rebuild inflation at most 1.5x, the zero-search
+proof, the kernel at least 3x over the per-element Python path, at
+least 2.5x aggregate throughput at 4 shards vs 1 (full grid), no
+sharded-vs-engine p99 regression at 1 shard, and — loudly — that every
+scale leg actually ran the requested shard count (no silent fallback).
 
 Usage::
 
@@ -56,16 +73,23 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import obs  # noqa: E402
-from repro.codec import ArrayImageCodec  # noqa: E402
+from repro.codec import ArrayImageCodec, BatchReconstructor, execute_scheme  # noqa: E402
 from repro.codes import make_code  # noqa: E402
-from repro.recovery import RecoveryPlanner, SchemePlanCache  # noqa: E402
+from repro.recovery import (  # noqa: E402
+    RecoveryPlanner,
+    SchemePlanCache,
+    ckernel,
+    scheme_for_disk,
+)
 from repro.serving import (  # noqa: E402
     DegradedPlanCache,
     QosController,
     ServingEngine,
+    ShardedServingEngine,
     SimulatedDisksIoModel,
     build_workload_requests,
     run_closed_loop,
+    run_engine_open_loop,
 )
 
 #: (family, n_disks, element_size, n_stripes, failed_disk)
@@ -79,9 +103,16 @@ QUICK_GRID = [
 ]
 WORKLOADS = ("hotspot", "sequential")
 
+SCALE_SHARDS_FULL = [1, 2, 4, 8]
+SCALE_SHARDS_QUICK = [1, 2]
+
 #: acceptance bars (--check)
 P99_RATIO_BAR = 0.7
 INFLATION_BAR = 1.5
+KERNEL_SPEEDUP_BAR = 3.0     #: kernel vs per-element Python executor
+SCALE_4X_BAR = 2.5           #: 4-shard / 1-shard aggregate throughput
+SCALE_2X_BAR = 1.3           #: 2-shard / 1-shard (quick grid)
+SHARDED_P99_TOL = 1.25       #: 1-shard sharded p99 vs PR 5 engine p99
 
 
 def _geomean(values: List[float]) -> float:
@@ -279,6 +310,275 @@ def measure_point(spec, args, verbose: bool) -> Dict:
     }
 
 
+def measure_kernel(args, verbose: bool) -> Dict:
+    """Batched-XOR kernel microbenchmark vs both Python paths.
+
+    Byte identity is asserted outright (a wrong kernel must abort the
+    benchmark, not report fast garbage); the speedup bar is enforced by
+    ``--check`` only when the kernel actually loaded.
+    """
+    import time
+
+    code = make_code("rdp", 7)
+    esz = 1024 if args.quick else 4096
+    n_stripes = 32 if args.quick else 64
+    scheme = scheme_for_disk(code, 0, algorithm="u", depth=1)
+    codec = ArrayImageCodec(code, element_size=esz, n_stripes=n_stripes)
+    disks = codec.encode_image(codec.random_image(np.random.default_rng(5)))
+    lay = code.layout
+    # stripe-major element batch: stripes[s, eid] = element bytes
+    stripes = np.zeros((n_stripes, lay.n_elements, esz), dtype=np.uint8)
+    for s in range(n_stripes):
+        for d in range(lay.n_disks):
+            for r in range(lay.k_rows):
+                stripes[s, lay.eid(d, r)] = disks[d, s * lay.k_rows + r]
+    recon = BatchReconstructor(scheme)
+    shape = (n_stripes, len(scheme.failed_eids), esz)
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    out_kernel = np.empty(shape, dtype=np.uint8)
+    out_numpy = np.empty(shape, dtype=np.uint8)
+    t_dispatch = best_of(lambda: recon.recover_batch_into(stripes, out_kernel))
+    t_numpy = best_of(lambda: recon._recover_into_numpy(stripes, out_numpy))
+    t_per_element = best_of(
+        lambda: [execute_scheme(scheme, stripes[s]) for s in range(n_stripes)],
+        repeats=3,
+    )
+    assert np.array_equal(out_kernel, out_numpy), "kernel output differs!"
+    per_element = execute_scheme(scheme, stripes[0])
+    for slot, eid in enumerate(scheme.failed_eids):
+        assert np.array_equal(out_kernel[0, slot], per_element[eid]), eid
+
+    available = ckernel.xor_available()
+    result = {
+        "kernel_available": available,
+        "element_size": esz,
+        "n_stripes": n_stripes,
+        "dispatch_ms": t_dispatch * 1e3,
+        "numpy_ms": t_numpy * 1e3,
+        "per_element_ms": t_per_element * 1e3,
+        "speedup_vs_per_element": t_per_element / t_dispatch,
+        "speedup_vs_numpy": t_numpy / t_dispatch,
+        "byte_identical": True,
+    }
+    if verbose:
+        tag = "C kernel" if available else "numpy fallback"
+        print(
+            f"  kernel ({tag}): dispatch {t_dispatch * 1e3:.2f} ms, numpy "
+            f"{t_numpy * 1e3:.2f} ms, per-element {t_per_element * 1e3:.2f} ms "
+            f"-> {result['speedup_vs_per_element']:.1f}x vs per-element"
+        )
+    return result
+
+
+def _scale_requests(codec, failed_disk, count, rate):
+    """One paced hotspot trace — built once, replayed at every shard count."""
+    lay = codec.code.layout
+    return build_workload_requests(
+        "hotspot",
+        lay.n_disks,
+        codec.n_stripes * lay.k_rows,
+        failed_disk,
+        count,
+        seed=17,
+        rate_per_s=rate,
+    )
+
+
+def _sharded_leg(codec, disks, failed_disk, n_shards, requests, args,
+                 rebuild_rate, target_p99_ms=None) -> Dict:
+    engine = ShardedServingEngine(
+        codec,
+        disks,
+        failed_disk,
+        n_shards=n_shards,
+        element_read_ms=args.scale_element_read_ms,
+        priority_grace_ms=args.priority_grace_ms,
+        rebuild_rate=rebuild_rate,
+        target_p99_ms=target_p99_ms,
+        rebuild_chunk_stripes=args.scale_chunk_stripes,
+    )
+    report = engine.serve_trace(requests, timeout_s=600.0)
+    return {
+        "requested_shards": report.requested_shards,
+        "n_shards": report.n_shards,
+        "served": report.served,
+        "mismatches": report.mismatches,
+        "errors": report.errors,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+        "mean_ms": report.mean_ms,
+        "duration_s": report.duration_s,
+        "offered_rate_rps": report.offered_rate_rps,
+        "throughput_rps": report.throughput_rps,
+        "rebuild_wall_s": report.rebuild_wall_s,
+        "throttle": report.throttle,
+    }
+
+
+def measure_scale(args, verbose: bool) -> Dict:
+    """The sharded scale grid: identical trace, growing shard counts."""
+    code = make_code("rdp", 7)
+    n_stripes = 48 if args.quick else args.scale_stripes
+    codec = ArrayImageCodec(code, element_size=64, n_stripes=n_stripes)
+    disks = codec.encode_image(codec.random_image(np.random.default_rng(23)))
+    failed_disk = 0
+    count = args.scale_requests // 4 if args.quick else args.scale_requests
+    rate = args.scale_rate / 2 if args.quick else args.scale_rate
+    requests = _scale_requests(codec, failed_disk, count, rate)
+    shard_counts = SCALE_SHARDS_QUICK if args.quick else SCALE_SHARDS_FULL
+    legs: List[Dict] = []
+    base_tp = None
+    for n_shards in shard_counts:
+        leg = _sharded_leg(
+            codec, disks, failed_disk, n_shards, requests, args,
+            rebuild_rate=args.scale_rebuild_rate,
+        )
+        if base_tp is None:
+            base_tp = leg["throughput_rps"]
+        leg["speedup_vs_1_shard"] = (
+            leg["throughput_rps"] / base_tp if base_tp else 0.0
+        )
+        legs.append(leg)
+        if verbose:
+            print(
+                f"  scale {n_shards:2d} shard(s): {leg['throughput_rps']:8.0f} "
+                f"rps ({leg['speedup_vs_1_shard']:.2f}x), p99 "
+                f"{leg['p99_ms']:7.2f} ms, mismatches {leg['mismatches']}"
+            )
+    return {
+        "family": "rdp",
+        "n_disks": 7,
+        "n_stripes": n_stripes,
+        "requests": count,
+        "offered_rate_rps": rate,
+        "element_read_ms": args.scale_element_read_ms,
+        "rebuild_rate": args.scale_rebuild_rate,
+        "chunk_stripes": args.scale_chunk_stripes,
+        "shard_counts": shard_counts,
+        "legs": legs,
+    }
+
+
+def measure_baseline(args, verbose: bool) -> Dict:
+    """1-shard sharded vs the PR 5 engine on the identical open-loop trace."""
+    code = make_code("rdp", 7)
+    n_stripes = 48 if args.quick else 112
+    codec = ArrayImageCodec(code, element_size=64, n_stripes=n_stripes)
+    disks = codec.encode_image(codec.random_image(np.random.default_rng(29)))
+    original = disks.copy()
+    failed_disk = 0
+    count = args.baseline_requests // 2 if args.quick else args.baseline_requests
+    requests = _scale_requests(codec, failed_disk, count, args.baseline_rate)
+
+    io = SimulatedDisksIoModel(
+        code.layout.n_disks,
+        element_read_ms=args.scale_element_read_ms,
+        priority_grace_ms=args.priority_grace_ms,
+    )
+    engine = ServingEngine(
+        codec,
+        disks,
+        failed_disk,
+        qos=QosController(target_p99_ms=args.target_p99_ms),
+        io_model=io,
+    )
+    engine_report = run_engine_open_loop(
+        engine, requests, expected=original,
+        chunk_stripes=args.scale_chunk_stripes,
+    )
+    sharded = _sharded_leg(
+        codec, disks, failed_disk, 1, requests, args,
+        rebuild_rate=args.scale_rebuild_rate,
+        target_p99_ms=args.target_p99_ms,
+    )
+    ratio = (
+        sharded["p99_ms"] / engine_report.p99_ms
+        if engine_report.p99_ms > 0
+        else 0.0
+    )
+    if verbose:
+        print(
+            f"  baseline: engine p99 {engine_report.p99_ms:.2f} ms vs "
+            f"1-shard sharded p99 {sharded['p99_ms']:.2f} ms "
+            f"(ratio {ratio:.2f})"
+        )
+    return {
+        "requests": count,
+        "offered_rate_rps": args.baseline_rate,
+        "engine": {
+            "served": engine_report.served,
+            "mismatches": engine_report.mismatches,
+            "errors": engine_report.errors,
+            "p50_ms": engine_report.p50_ms,
+            "p99_ms": engine_report.p99_ms,
+            "throughput_rps": engine_report.throughput_rps,
+        },
+        "sharded_1": sharded,
+        "p99_ratio_sharded_vs_engine": ratio,
+    }
+
+
+def run_sharded_checks(kernel: Dict, scale: Dict, baseline: Dict,
+                       quick: bool) -> List[str]:
+    failures: List[str] = []
+    if not kernel["byte_identical"]:
+        failures.append("kernel: output not byte-identical")
+    if kernel["kernel_available"]:
+        if kernel["speedup_vs_per_element"] < KERNEL_SPEEDUP_BAR:
+            failures.append(
+                f"kernel: only {kernel['speedup_vs_per_element']:.2f}x over "
+                f"the per-element Python path (bar {KERNEL_SPEEDUP_BAR}x)"
+            )
+
+    for leg in scale["legs"]:
+        tag = f"scale/{leg['requested_shards']}-shard"
+        if leg["n_shards"] != leg["requested_shards"]:
+            failures.append(
+                f"{tag}: ran {leg['n_shards']} shards instead of "
+                f"{leg['requested_shards']} (silent fallback)"
+            )
+        if leg["mismatches"] or leg["errors"]:
+            failures.append(
+                f"{tag}: {leg['mismatches']} mismatches, errors={leg['errors']}"
+            )
+    by_shards = {leg["requested_shards"]: leg for leg in scale["legs"]}
+    if quick:
+        if 2 in by_shards and by_shards[2]["speedup_vs_1_shard"] < SCALE_2X_BAR:
+            failures.append(
+                f"scale: 2-shard speedup {by_shards[2]['speedup_vs_1_shard']:.2f}x "
+                f"< {SCALE_2X_BAR}x"
+            )
+    elif 4 in by_shards and by_shards[4]["speedup_vs_1_shard"] < SCALE_4X_BAR:
+        failures.append(
+            f"scale: 4-shard speedup {by_shards[4]['speedup_vs_1_shard']:.2f}x "
+            f"< {SCALE_4X_BAR}x"
+        )
+
+    eng, shd = baseline["engine"], baseline["sharded_1"]
+    for tag, leg in (("baseline/engine", eng), ("baseline/sharded", shd)):
+        if leg["mismatches"] or leg["errors"]:
+            failures.append(
+                f"{tag}: {leg['mismatches']} mismatches, errors={leg['errors']}"
+            )
+    if shd["n_shards"] != 1:
+        failures.append(f"baseline: sharded leg ran {shd['n_shards']} shards")
+    if baseline["p99_ratio_sharded_vs_engine"] > SHARDED_P99_TOL:
+        failures.append(
+            f"baseline: 1-shard sharded p99 is "
+            f"{baseline['p99_ratio_sharded_vs_engine']:.2f}x the engine p99 "
+            f"(tolerance {SHARDED_P99_TOL}x)"
+        )
+    return failures
+
+
 def run_checks(points: List[Dict]) -> List[str]:
     failures: List[str] = []
     for p in points:
@@ -332,6 +632,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="post-rebuild reads per client (patched path)")
     ap.add_argument("--attempts", type=int, default=3,
                     help="re-measure a workload up to N times, keep the best")
+    ap.add_argument("--scale-rate", type=float, default=14000.0,
+                    help="aggregate offered load for the sharded scale grid")
+    ap.add_argument("--scale-requests", type=int, default=6000)
+    ap.add_argument("--scale-stripes", type=int, default=112)
+    ap.add_argument("--scale-element-read-ms", type=float, default=0.3)
+    ap.add_argument("--scale-rebuild-rate", type=float, default=6.0)
+    ap.add_argument("--scale-chunk-stripes", type=int, default=8)
+    ap.add_argument("--baseline-rate", type=float, default=1200.0,
+                    help="offered load for the engine-vs-sharded p99 leg")
+    ap.add_argument("--baseline-requests", type=int, default=1500)
     ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_serving.json"))
     ap.add_argument("--plan-cache-store",
                     default="/tmp/bench_serving_plan_cache.json")
@@ -348,6 +658,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{args.clients} clients, cpu_count={os.cpu_count()}):"
         )
     points = [measure_point(spec, args, verbose) for spec in grid]
+    kernel = measure_kernel(args, verbose)
+    scale = measure_scale(args, verbose)
+    baseline = measure_baseline(args, verbose)
 
     ratios = [
         res["p99_ratio"] for p in points for res in p["workloads"].values()
@@ -357,12 +670,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         for p in points
         for res in p["workloads"].values()
     ]
+    scale_best = max(
+        (leg["speedup_vs_1_shard"] for leg in scale["legs"]), default=0.0
+    )
     summary = {
         "p99_ratio_geomean": _geomean(ratios),
         "p99_ratio_worst": max(ratios) if ratios else 0.0,
         "rebuild_inflation_geomean": _geomean(inflations),
         "rebuild_inflation_worst": max(inflations) if inflations else 0.0,
-        "bars": {"p99_ratio": P99_RATIO_BAR, "rebuild_inflation": INFLATION_BAR},
+        "kernel_speedup_vs_per_element": kernel["speedup_vs_per_element"],
+        "scale_best_speedup": scale_best,
+        "sharded_p99_vs_engine": baseline["p99_ratio_sharded_vs_engine"],
+        "bars": {
+            "p99_ratio": P99_RATIO_BAR,
+            "rebuild_inflation": INFLATION_BAR,
+            "kernel_speedup": KERNEL_SPEEDUP_BAR,
+            "scale_4x_speedup": SCALE_4X_BAR,
+            "sharded_p99_tolerance": SHARDED_P99_TOL,
+        },
     }
     payload = {
         "config": {
@@ -375,10 +700,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             "element_read_ms": args.element_read_ms,
             "priority_grace_ms": args.priority_grace_ms,
             "target_p99_ms": args.target_p99_ms,
+            "scale_rate": args.scale_rate,
+            "scale_requests": args.scale_requests,
+            "scale_element_read_ms": args.scale_element_read_ms,
+            "scale_rebuild_rate": args.scale_rebuild_rate,
+            "scale_chunk_stripes": args.scale_chunk_stripes,
+            "baseline_rate": args.baseline_rate,
             "cpu_count": os.cpu_count(),
             "quick": args.quick,
         },
         "points": points,
+        "kernel": kernel,
+        "scale": scale,
+        "baseline": baseline,
         "summary": summary,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -393,6 +727,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check:
         failures = run_checks(points)
+        failures += run_sharded_checks(kernel, scale, baseline, args.quick)
         if failures:
             for f in failures:
                 print(f"CHECK FAILED: {f}", file=sys.stderr)
@@ -401,7 +736,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "checks passed: byte-exact service, qos p99 <= "
                 f"{P99_RATIO_BAR}x unthrottled, rebuild inflation <= "
-                f"{INFLATION_BAR}x, zero searches under traffic"
+                f"{INFLATION_BAR}x, zero searches under traffic, kernel >= "
+                f"{KERNEL_SPEEDUP_BAR}x, sharded scaling and 1-shard p99 bars"
             )
     return 0
 

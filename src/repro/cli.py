@@ -298,6 +298,66 @@ def _cmd_rebuild(args) -> int:
     return 0 if ok else 1
 
 
+def _serve_sharded(args, code, codec, disks) -> int:
+    """Open-loop sharded serving leg of the ``serve`` subcommand."""
+    from repro.serving import ShardedServingEngine, build_workload_requests
+
+    total_rows = codec.n_stripes * code.layout.k_rows
+    rate = args.client_rate * args.clients
+    requests = build_workload_requests(
+        args.workload,
+        code.layout.n_disks,
+        total_rows,
+        args.failed_disk,
+        args.requests * args.clients,
+        seed=args.seed,
+        rate_per_s=rate,
+    )
+    engine = ShardedServingEngine(
+        codec,
+        disks,
+        args.failed_disk,
+        args.shards,
+        element_read_ms=args.element_read_ms,
+        algorithm=args.algorithm,
+        depth=args.depth,
+        store_path=args.plan_cache,
+        target_p99_ms=None if args.no_qos else args.target_p99_ms,
+        rebuild_chunk_stripes=args.chunk_stripes,
+    )
+    print(code.describe())
+    print(
+        f"serving : disk {args.failed_disk} failed, {args.shards} shard(s), "
+        f"open-loop {args.workload} trace at {rate:.0f} req/s aggregate"
+    )
+    try:
+        report = engine.serve_trace(requests)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    direct = sum(int(s["direct"]) for s in report.per_shard)
+    degraded = sum(int(s["degraded"]) for s in report.per_shard)
+    patched = sum(int(s["patched"]) for s in report.per_shard)
+    print(
+        f"shards  : {report.n_shards}/{report.requested_shards} reported, "
+        f"slowest replay {report.duration_s:.2f} s"
+    )
+    print(
+        f"reads   : {report.served} served ({direct} direct, "
+        f"{degraded} degraded, {patched} patched)"
+    )
+    print(
+        f"latency : p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms; "
+        f"throughput {report.throughput_rps:.0f} req/s "
+        f"(offered {report.offered_rate_rps:.0f})"
+    )
+    if report.rebuild_wall_s is not None:
+        print(f"rebuild : completed in {report.rebuild_wall_s:.3f} s")
+    print("verify  : " + ("byte-exact" if report.ok else
+                          f"{report.mismatches} MISMATCHES"))
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args) -> int:
     import numpy as np
 
@@ -325,6 +385,16 @@ def _cmd_serve(args) -> int:
     rng = np.random.default_rng(args.seed)
     disks = codec.encode_image(codec.random_image(rng))
     original = disks.copy()
+
+    if args.shards:
+        if fault_plan:
+            print(
+                "error: --inject is not supported with --shards "
+                "(fault injection is single-process only)",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_sharded(args, code, codec, disks)
 
     plan_store = SchemePlanCache(args.plan_cache) if args.plan_cache else None
     planner = RecoveryPlanner(
@@ -597,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-stripes", type=int, default=16)
     p.add_argument("--settle-reads", type=int, default=5,
                    help="post-rebuild reads per client")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard the serving plane across N worker processes "
+                   "(open-loop trace replay; 0 = single-process engine)")
     p.add_argument("--plan-cache", default=None, metavar="PATH",
                    help="persistent JSON degraded-plan cache")
     p.add_argument(

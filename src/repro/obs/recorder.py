@@ -24,13 +24,17 @@ Three primitives, deliberately small:
 Everything lives in a :class:`Recorder`; the process-wide instance is
 managed with :func:`enable` / :func:`disable` (or the ``REPRO_TRACE=1``
 environment variable, checked on first import of :mod:`repro.obs`).
-Recording is deliberately not thread-safe — the pipeline is process-
-parallel, never thread-parallel, and keeping the fast path lock-free is
-the point.
+Counters and gauges are thread-safe (one short lock around the dict
+mutation — the serving frontend feeds them from reader threads while the
+rebuild thread runs).  Spans stay lock-free and single-threaded by
+contract: the span stack is per-recorder, and threaded/multi-process
+callers use counters, or a private per-shard recorder folded back with
+:meth:`Recorder.merge_snapshot` at join time.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -123,6 +127,7 @@ class Recorder:
         self.gauges: Dict[str, Gauge] = {}
         self._stack: List[Span] = []
         self._next_id = 0
+        self._metrics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # spans
@@ -158,17 +163,46 @@ class Recorder:
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name)
+            with self._metrics_lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter(name)
         return c
 
     def count(self, name: str, n: float = 1) -> None:
-        self.counter(name).add(n)
+        # += on a float is not atomic under threads; take the lock so
+        # concurrent bumps from serving reader threads never lose updates
+        c = self.counter(name)
+        with self._metrics_lock:
+            c.add(n)
 
     def gauge(self, name: str, value: float) -> None:
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name)
-        g.set(value)
+            with self._metrics_lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge(name)
+        with self._metrics_lock:
+            g.set(value)
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Counters accumulate; gauges take the merged-in last value and the
+        max of the peaks.  Spans are *not* merged — their ids and clock
+        base are recorder-local.  This is how the sharded serving frontend
+        reports: each worker runs a private recorder and the parent merges
+        the snapshots when the shards join.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.count(name, value)
+        for name, g in snap.get("gauges", {}).items():
+            self.gauge(name, g["value"])
+            with self._metrics_lock:
+                mine = self.gauges[name]
+                if g["peak"] > mine.peak:
+                    mine.peak = g["peak"]
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

@@ -1,19 +1,29 @@
-"""On-demand compiled UCS kernel with a silent pure-Python fallback.
+"""On-demand compiled C kernels with a silent pure-Python fallback.
 
-The integer-key cost models (Khan / C / U) spend their time in a tight
-pop-push loop whose per-state work is a handful of word operations — exactly
-the regime where the CPython interpreter's ~µs dispatch overhead dominates.
-This module compiles ``_ucs.c`` (a line-for-line mirror of the engine loop
-in :mod:`repro.recovery.search`) with the system C compiler the first time
+Two kernels share one shared object compiled from ``_ucs.c``:
+
+* ``ucs_search`` — the integer-key cost models (Khan / C / U) spend their
+  time in a tight pop-push loop whose per-state work is a handful of word
+  operations — exactly the regime where the CPython interpreter's ~µs
+  dispatch overhead dominates.  The kernel is a line-for-line mirror of
+  the engine loop in :mod:`repro.recovery.search`.
+* ``xor_batch`` — the serving/rebuild reconstruction hot path: one call
+  XORs every failed element of a whole stripe batch straight into the
+  caller's output buffer (see
+  :meth:`repro.codec.batch.BatchReconstructor.recover_batch_into`),
+  fusing what the numpy path does in one dispatched pass per equation
+  source.  Exposed here through :func:`xor_batch`.
+
+This module compiles ``_ucs.c`` with the system C compiler the first time
 it is needed, caches the shared object under ``$XDG_CACHE_HOME/repro-ckernel``
 keyed by a hash of the source, and exposes it through :mod:`ctypes`.
 
 There is no build step and no third-party dependency: if no compiler is
 present (or ``REPRO_PURE_PYTHON`` is set), :func:`load` returns ``None``
-and the search runs on the pure-Python engine with identical results —
-the kernel replicates pop order exactly (heap entries are unique
-``(key, state id)`` pairs, a total order), so schemes are byte-identical
-either way.
+and everything runs on the pure-Python/numpy engines with identical
+results — the search kernel replicates pop order exactly (heap entries
+are unique ``(key, state id)`` pairs, a total order) and XOR is XOR, so
+outputs are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -101,6 +111,17 @@ def load() -> Optional[ctypes.CDLL]:
             ctypes.POINTER(ctypes.c_uint64),   # out_mask
             ctypes.POINTER(_Stats),            # stats
         ]
+        lib.xor_batch.restype = ctypes.c_int64
+        lib.xor_batch.argtypes = [
+            ctypes.c_void_p,                   # stripes (n, n_elements, esz)
+            ctypes.c_int64,                    # n_stripes
+            ctypes.c_int64,                    # n_elements
+            ctypes.c_int64,                    # element_size
+            ctypes.c_void_p,                   # out (n, n_slots, esz)
+            ctypes.c_int64,                    # n_slots
+            ctypes.POINTER(ctypes.c_int64),    # src_off (n_slots + 1)
+            ctypes.POINTER(ctypes.c_int32),    # src_ids
+        ]
         _lib = lib
     except Exception as exc:
         # the fallback is silent by design (pure Python is byte-identical),
@@ -181,3 +202,50 @@ def run(
         "peak_frontier": stats.peak_frontier,
     }
     return list(chain), counters
+
+
+def xor_available() -> bool:
+    """Is the batched-XOR kernel usable in this process?"""
+    lib = load()
+    return lib is not None and hasattr(lib, "xor_batch")
+
+
+def xor_batch(stripes, out, src_off, src_ids) -> bool:
+    """Run the batched-XOR kernel; ``False`` means "use the numpy path".
+
+    Parameters mirror
+    :meth:`repro.codec.batch.BatchReconstructor.recover_batch_into`:
+    ``stripes`` is the ``(n_stripes, n_elements, esz)`` input batch and
+    ``out`` the ``(n_stripes, n_slots, esz)`` output block, both uint8;
+    ``src_off`` (int64, ``n_slots + 1``) and ``src_ids`` (int32) are the
+    flattened source plan (ids ``>= 0`` name stripe elements, ``< 0`` name
+    earlier output slots as ``-(slot + 1)``).  The caller owns shape
+    agreement between the plan and the buffers; this wrapper only refuses
+    what the kernel cannot address — no kernel, non-contiguous or
+    non-uint8 buffers — by returning ``False`` so the numpy fold (which
+    handles any layout) runs instead.  Output bytes are identical either
+    way.
+    """
+    lib = load()
+    if lib is None or not hasattr(lib, "xor_batch"):
+        return False
+    for arr in (stripes, out):
+        if not arr.flags.c_contiguous or arr.dtype.str[1:] != "u1":
+            return False
+    if not (src_off.flags.c_contiguous and src_ids.flags.c_contiguous):
+        return False
+    n_stripes, n_elements, esz = stripes.shape
+    n_slots = out.shape[1]
+    if n_stripes == 0 or n_slots == 0 or esz == 0:
+        return True  # nothing to XOR; the zero-fill contract is vacuous
+    lib.xor_batch(
+        ctypes.c_void_p(stripes.ctypes.data),
+        ctypes.c_int64(n_stripes),
+        ctypes.c_int64(n_elements),
+        ctypes.c_int64(esz),
+        ctypes.c_void_p(out.ctypes.data),
+        ctypes.c_int64(n_slots),
+        src_off.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+        src_ids.ctypes.data_as(ctypes.POINTER(ctypes.c_int32)),
+    )
+    return True

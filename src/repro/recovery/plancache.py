@@ -17,6 +17,14 @@ Two tiers:
   path.  A corrupted or unreadable store is *ignored with a warning* — the
   cache silently degrades to cold, it never raises.
 
+Concurrent writers (sharded serving workers all warming per-row plans
+against one store path) are safe: :meth:`SchemePlanCache.save` takes an
+advisory ``flock`` on a ``<path>.lock`` sidecar, re-reads the store under
+the lock, and merges the on-disk plans with its own before the atomic
+replace — so two processes saving back-to-back union their entries
+instead of the last writer erasing the first one's.  Readers need no
+lock: ``os.replace`` guarantees they always see a complete store.
+
 Keys are content hashes, so a change to the code family, its geometry or
 its generator matrix changes the key and can never serve a stale plan;
 there is no invalidation protocol to get wrong.
@@ -35,8 +43,14 @@ import os
 import tempfile
 import warnings
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:  # POSIX advisory locking; absent on some platforms (best-effort there)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from repro import obs
 from repro.codes.base import ErasureCode
@@ -45,6 +59,28 @@ from repro.recovery.scheme import RecoveryScheme
 #: bump when the serialized scheme record shape changes; old stores are
 #: ignored (treated as cold), never misparsed
 STORE_VERSION = 1
+
+
+@contextmanager
+def _store_lock(path: Path) -> Iterator[None]:
+    """Exclusive advisory lock on ``<path>.lock`` for store writers.
+
+    The sidecar (not the store itself) is locked so the atomic
+    ``os.replace`` of the store never invalidates the locked inode.
+    Degrades to a no-op where ``fcntl`` is unavailable.
+    """
+    lock_path = path.with_name(path.name + ".lock")
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 def plan_key(
@@ -147,7 +183,7 @@ class SchemePlanCache:
     # store I/O
     # ------------------------------------------------------------------
     @staticmethod
-    def _load_store(path: Path) -> Dict[str, Dict[str, Any]]:
+    def _load_store(path: Path, warn: bool = True) -> Dict[str, Dict[str, Any]]:
         """Parse the JSON store; any defect degrades to an empty cache."""
         if not path.exists():
             return {}
@@ -167,33 +203,47 @@ class SchemePlanCache:
                     raise ValueError(f"malformed plan record for key {key[:12]}")
             return plans
         except (OSError, ValueError) as exc:
-            warnings.warn(
-                f"ignoring unusable plan cache {path}: {exc}",
-                UserWarning,
-                stacklevel=3,
-            )
+            if warn:
+                warnings.warn(
+                    f"ignoring unusable plan cache {path}: {exc}",
+                    UserWarning,
+                    stacklevel=3,
+                )
             obs.count("plancache.corrupt_store")
             return {}
 
     def save(self) -> None:
-        """Atomically rewrite the on-disk store (no-op without a path)."""
+        """Merge-and-rewrite the on-disk store (no-op without a path).
+
+        Runs under the store's advisory writer lock: the current file is
+        re-read and unioned with this process's entries first, so
+        concurrent savers from other shards never erase each other's
+        plans (this writer's record wins a key collision, but keys are
+        content hashes — colliding records are identical anyway).
+        """
         if self.path is None or not self._dirty:
             return
-        payload = {"version": STORE_VERSION, "plans": self._disk}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, self.path)
-        except OSError:
+        with _store_lock(self.path):
+            # a corrupt current store was (or will be) warned about by the
+            # load path; the merge just treats it as empty and overwrites
+            current = self._load_store(self.path, warn=False)
+            if current:
+                self._disk = {**current, **self._disk}
+            payload = {"version": STORE_VERSION, "plans": self._disk}
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self.path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
 
     # ------------------------------------------------------------------

@@ -15,7 +15,12 @@ latency objective:
   per-spindle disk-time accounting for contention experiments;
 * :class:`~repro.serving.clients.ClosedLoopClient` /
   :func:`~repro.serving.clients.run_closed_loop` — workload-driven
-  closed-loop verification harness.
+  closed-loop verification harness;
+* :class:`~repro.serving.sharded.ShardedServingEngine` — the scale-out
+  frontend: stripe-range shard worker processes over shared-memory state
+  (:mod:`repro.serving.shm`), open-loop trace replay
+  (:mod:`repro.serving.frontend`) and board-steered rebuild admission
+  (:class:`~repro.serving.sharded.BoardThrottle`).
 
 See ``docs/serving.md`` for the architecture and the benchmark
 methodology behind ``benchmarks/bench_serving.py``.
@@ -28,21 +33,49 @@ from repro.serving.clients import (
     run_closed_loop,
 )
 from repro.serving.engine import ServingEngine
+from repro.serving.frontend import (
+    OpenLoopReport,
+    partition_trace,
+    replay_open_loop,
+    run_engine_open_loop,
+    shard_bounds,
+    trace_arrays,
+)
 from repro.serving.iomodel import NullIoModel, SimulatedDisksIoModel
-from repro.serving.plans import DegradedPlanCache
+from repro.serving.plans import CompiledPlanCache, DegradedPlanCache
 from repro.serving.qos import LatencyWindow, QosController, TokenBucket, percentile
+from repro.serving.sharded import (
+    BoardThrottle,
+    ShardServer,
+    ShardedReport,
+    ShardedServingEngine,
+)
+from repro.serving.shm import SharedServingState, ServingStateSpec
 
 __all__ = [
+    "BoardThrottle",
     "ClosedLoopClient",
+    "CompiledPlanCache",
     "DegradedPlanCache",
     "LatencyWindow",
     "NullIoModel",
+    "OpenLoopReport",
     "QosController",
     "ServeReport",
     "ServingEngine",
+    "ServingStateSpec",
+    "ShardServer",
+    "ShardedReport",
+    "ShardedServingEngine",
+    "SharedServingState",
     "SimulatedDisksIoModel",
     "TokenBucket",
     "build_workload_requests",
+    "partition_trace",
     "percentile",
+    "replay_open_loop",
     "run_closed_loop",
+    "run_engine_open_loop",
+    "shard_bounds",
+    "trace_arrays",
 ]

@@ -40,7 +40,6 @@ import numpy as np
 
 from repro import obs
 from repro.codec.image import ArrayImageCodec
-from repro.codec.reconstructor import execute_scheme
 from repro.faults.plan import FaultPlan
 from repro.faults.store import FaultyStripeStore
 from repro.pipeline.engine import RebuildPipeline, RebuildResult
@@ -49,7 +48,7 @@ from repro.recovery.planner import RecoveryPlanner
 from repro.recovery.resilient import ResilientExecutor
 from repro.recovery.scheme import RecoveryScheme
 from repro.serving.iomodel import NullIoModel
-from repro.serving.plans import DegradedPlanCache
+from repro.serving.plans import CompiledPlanCache, DegradedPlanCache
 from repro.serving.qos import QosController
 
 
@@ -155,6 +154,8 @@ class ServingEngine:
         self.plans = plans or DegradedPlanCache(
             codec.code, planner=self.planner, store=plan_cache
         )
+        #: plan -> BatchReconstructor memo feeding the batched-XOR kernel
+        self.compiled = CompiledPlanCache()
         self.max_retries = max_retries
         self.fault_store: Optional[FaultyStripeStore] = None
         if fault_plan is not None and bool(fault_plan):
@@ -315,7 +316,17 @@ class ServingEngine:
             for ldisk, lrow in lay.iter_elements(plan.read_mask):
                 phys = self.codec.physical_disk(ldisk, s)
                 stripe[lay.eid(ldisk, lrow)] = self.disks[phys, base + lrow]
-            recovered = execute_scheme(plan, stripe)
+            # one-stripe batch through the compiled plan: the batched-XOR
+            # kernel (or its byte-identical numpy fallback) does the fold
+            recon = self.compiled.reconstructor(plan)
+            out = np.empty(
+                (1, len(plan.failed_eids), self.codec.element_size),
+                dtype=np.uint8,
+            )
+            recon.recover_batch_into(stripe[None], out)
+            recovered = {
+                eid: out[0, i] for i, eid in enumerate(plan.failed_eids)
+            }
         with self._count_lock:
             self.n_flights += 1
         obs.count("serving.flights")

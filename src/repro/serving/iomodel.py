@@ -40,6 +40,9 @@ class NullIoModel:
     def rebuild_chunk(self, per_disk: Dict[int, int]) -> float:
         return 0.0
 
+    def reserve_background(self, per_disk: Dict[int, int]) -> None:
+        return None
+
 
 class SimulatedDisksIoModel(NullIoModel):
     """Per-disk busy-clock I/O model (see module docstring).
@@ -110,3 +113,16 @@ class SimulatedDisksIoModel(NullIoModel):
     def rebuild_chunk(self, per_disk: Dict[int, int]) -> float:
         """Charge one rebuild chunk's per-disk element reads (FIFO)."""
         return self._charge(per_disk, priority=False)
+
+    def reserve_background(self, per_disk: Dict[int, int]) -> None:
+        """Book rebuild disk time without sleeping on it.
+
+        Used by sharded serving workers when the (remote) rebuild's
+        frontier notification arrives: the chunk's survivor reads landed
+        on this shard's spindles, so subsequent user reads must queue
+        behind them — but the worker itself never blocks on rebuild
+        completion, only the reservation ledger moves.
+        """
+        for disk, count in per_disk.items():
+            if count > 0:
+                self._reserve(disk, count * self.element_read_s, priority=False)

@@ -22,9 +22,11 @@ these plus the ``search.*`` family.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.codec.batch import BatchReconstructor
 from repro.codes.base import ErasureCode
 from repro.recovery.degraded_read import slice_degraded_plan
 from repro.recovery.plancache import SchemePlanCache
@@ -130,3 +132,42 @@ class DegradedPlanCache:
 
     def __len__(self) -> int:
         return len(self._plans)
+
+
+class CompiledPlanCache:
+    """Memoised :class:`~repro.codec.batch.BatchReconstructor` per plan.
+
+    Building a reconstructor compiles the scheme's equations into
+    flattened index arrays for the batched-XOR kernel — cheap, but not
+    free, and the serving hot path asks for the same few plans millions
+    of times.  Keyed by ``(failed_mask, equations)`` (the full XOR
+    semantics of a plan), bounded LRU.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Tuple[int, Tuple[int, ...]], BatchReconstructor]"
+        self._cache = OrderedDict()
+        self._lock = threading.Lock()
+
+    def reconstructor(self, plan: RecoveryScheme) -> BatchReconstructor:
+        key = (plan.failed_mask, tuple(plan.equations))
+        with self._lock:
+            recon = self._cache.get(key)
+            if recon is not None:
+                self._cache.move_to_end(key)
+                obs.count("serving.compiled_plan_hit")
+                return recon
+        recon = BatchReconstructor(plan)
+        with self._lock:
+            self._cache[key] = recon
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+        obs.count("serving.compiled_plan_miss")
+        return recon
+
+    def __len__(self) -> int:
+        return len(self._cache)

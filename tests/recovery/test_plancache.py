@@ -150,3 +150,67 @@ class TestObsCounters:
         assert counters.get("planner.schemes_generated", 0) == 0
         assert counters.get("search.expanded", 0) == 0
         assert rec.gauges["plancache.size"].value == code.layout.n_disks
+
+
+class TestConcurrentWriters:
+    """Two processes/instances saving to one store must union, not clobber."""
+
+    def test_two_writer_interleave_preserves_both(self, tmp_path):
+        """Regression: before the advisory-lock merge, writer B's save
+        (holding a stale in-memory view loaded before A's save) erased
+        A's entry from the store."""
+        code = make_code("rdp", 7)
+        store = tmp_path / "plans.json"
+        a = SchemePlanCache(store)   # both load the (empty) store now
+        b = SchemePlanCache(store)
+        a.put(code, 0, "u", 1, u_scheme(code, 0, depth=1))   # A saves disk 0
+        b.put(code, 1, "u", 1, u_scheme(code, 1, depth=1))   # B saves disk 1
+        merged = SchemePlanCache(store)
+        assert merged.stats()["disk_entries"] == 2
+        assert merged.get(code, 0, "u", 1) is not None
+        assert merged.get(code, 1, "u", 1) is not None
+
+    def test_threaded_writer_hammer_loses_nothing(self, tmp_path):
+        import threading
+
+        code = make_code("rdp", 8)
+        store = tmp_path / "plans.json"
+        n_disks = code.layout.n_disks
+        schemes = {d: u_scheme(code, d, depth=1) for d in range(n_disks)}
+
+        def writer(disk):
+            cache = SchemePlanCache(store)
+            cache.put(code, disk, "u", 1, schemes[disk])
+
+        threads = [
+            threading.Thread(target=writer, args=(d,)) for d in range(n_disks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = SchemePlanCache(store)
+        assert merged.stats()["disk_entries"] == n_disks
+        for d in range(n_disks):
+            assert merged.get(code, d, "u", 1) is not None
+
+    def test_save_merges_and_local_wins_collisions(self, tmp_path):
+        code = make_code("rdp", 7)
+        store = tmp_path / "plans.json"
+        a = SchemePlanCache(store, autosave=False)
+        b = SchemePlanCache(store, autosave=False)
+        a.put(code, 0, "u", 1, u_scheme(code, 0, depth=1))
+        b.put(code, 0, "u", 1, u_scheme(code, 0, depth=1))  # same key
+        b.put(code, 2, "u", 1, u_scheme(code, 2, depth=1))
+        a.save()
+        b.save()
+        merged = SchemePlanCache(store)
+        assert merged.stats()["disk_entries"] == 2
+
+    def test_lock_sidecar_does_not_break_reload(self, tmp_path):
+        code = make_code("rdp", 7)
+        store = tmp_path / "plans.json"
+        cache = SchemePlanCache(store)
+        cache.put(code, 0, "u", 1, u_scheme(code, 0, depth=1))
+        assert (tmp_path / "plans.json.lock").exists()
+        assert SchemePlanCache(store).get(code, 0, "u", 1) is not None

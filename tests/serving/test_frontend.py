@@ -1,0 +1,133 @@
+"""Open-loop frontend: trace arrays, shard partitioning, replay accounting."""
+
+import numpy as np
+import pytest
+
+from repro.disksim.workload import Request
+from repro.serving import (
+    OpenLoopReport,
+    partition_trace,
+    replay_open_loop,
+    shard_bounds,
+    trace_arrays,
+)
+
+
+class TestTraceArrays:
+    def test_sorts_and_shifts_to_zero(self):
+        reqs = [
+            Request(arrival_s=0.5, disk=1, row=3),
+            Request(arrival_s=0.2, disk=0, row=7),
+            Request(arrival_s=0.9, disk=2, row=1),
+        ]
+        arr, disks, rows = trace_arrays(reqs)
+        assert arr[0] == 0.0
+        assert np.all(np.diff(arr) >= 0)
+        assert list(disks) == [0, 1, 2]
+        assert list(rows) == [7, 3, 1]
+
+    def test_stable_on_equal_arrivals(self):
+        reqs = [Request(arrival_s=1.0, disk=d, row=d) for d in range(5)]
+        _, disks, _ = trace_arrays(reqs)
+        assert list(disks) == [0, 1, 2, 3, 4]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_arrays([])
+
+
+class TestShardBounds:
+    def test_bounds_cover_range_contiguously(self):
+        for n_stripes in (1, 7, 48, 113):
+            for n_shards in (1, 2, 3, n_stripes):
+                if n_shards > n_stripes:
+                    continue
+                b = shard_bounds(n_stripes, n_shards)
+                assert b[0] == 0 and b[-1] == n_stripes
+                assert np.all(np.diff(b) >= 1)  # every shard owns >= 1 stripe
+                assert len(b) == n_shards + 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 49, 1000])
+    def test_out_of_range_raises(self, bad):
+        with pytest.raises(ValueError):
+            shard_bounds(48, bad)
+
+
+class TestPartitionTrace:
+    def test_partition_is_exact_and_order_preserving(self):
+        k_rows, n_stripes, n_shards = 4, 12, 3
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, n_stripes * k_rows, size=200)
+        parts = partition_trace(rows, k_rows, n_stripes, n_shards)
+        seen = np.concatenate(parts)
+        assert sorted(seen.tolist()) == list(range(200))  # exact cover
+        bounds = shard_bounds(n_stripes, n_shards)
+        for i, idx in enumerate(parts):
+            assert np.all(np.diff(idx) > 0)  # global order kept per shard
+            stripes = rows[idx] // k_rows
+            assert np.all(stripes >= bounds[i])
+            assert np.all(stripes < bounds[i + 1])
+
+    def test_single_shard_owns_everything(self):
+        rows = np.arange(40)
+        (part,) = partition_trace(rows, 4, 10, 1)
+        assert np.array_equal(part, np.arange(40))
+
+
+class TestReplayOpenLoop:
+    def _trace(self, n, rate):
+        arr = np.arange(n) / rate
+        disks = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n, dtype=np.int64)
+        return arr, disks, rows
+
+    def test_serves_all_and_verifies(self):
+        arr, disks, rows = self._trace(50, rate=5000.0)
+        expected = np.arange(50, dtype=np.uint8).reshape(1, 50, 1)
+
+        def read_fn(disk, row):
+            return expected[disk, row]
+
+        report = replay_open_loop(read_fn, arr, disks, rows, expected=expected)
+        assert isinstance(report, OpenLoopReport)
+        assert report.ok
+        assert report.served == 50
+        assert report.p99_ms >= report.p50_ms >= 0.0
+
+    def test_counts_mismatches(self):
+        arr, disks, rows = self._trace(10, rate=5000.0)
+        expected = np.zeros((1, 10, 1), dtype=np.uint8)
+
+        def read_fn(disk, row):
+            return np.asarray([1 if row == 3 else 0], dtype=np.uint8)
+
+        report = replay_open_loop(read_fn, arr, disks, rows, expected=expected)
+        assert report.mismatches == 1
+        assert not report.ok
+
+    def test_error_stops_replay_loudly(self):
+        arr, disks, rows = self._trace(10, rate=5000.0)
+
+        def read_fn(disk, row):
+            if row == 4:
+                raise RuntimeError("disk on fire")
+            return np.zeros(1, dtype=np.uint8)
+
+        report = replay_open_loop(read_fn, arr, disks, rows)
+        assert report.served == 4
+        assert report.errors and "disk on fire" in report.errors[0]
+        assert not report.ok
+
+    def test_latency_includes_queue_wait(self):
+        """A slow server must push later requests' latency up (open loop)."""
+        import time
+
+        arr, disks, rows = self._trace(6, rate=1000.0)  # 1ms spacing
+
+        def read_fn(disk, row):
+            time.sleep(0.01)  # 10ms service >> 1ms inter-arrival
+            return np.zeros(1, dtype=np.uint8)
+
+        report = replay_open_loop(read_fn, arr, disks, rows)
+        # last request queued behind ~5 earlier 10ms services
+        assert report.p99_ms > 30.0

@@ -1,0 +1,305 @@
+"""Sharded serving engine: shard core correctness, throttle, full mp runs."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.codec import ArrayImageCodec
+from repro.codes import make_code
+from repro.disksim.workload import Request
+from repro.serving import (
+    BoardThrottle,
+    ShardServer,
+    ShardedServingEngine,
+)
+from repro.serving.shm import (
+    BOARD_FIELDS,
+    BOARD_P99_MS,
+    BOARD_SERVED,
+    SharedServingState,
+)
+
+
+def build(family="rdp", n_disks=7, element_size=16, n_stripes=12, seed=7):
+    code = make_code(family, n_disks)
+    codec = ArrayImageCodec(code, element_size=element_size, n_stripes=n_stripes)
+    disks = codec.encode_image(codec.random_image(np.random.default_rng(seed)))
+    return codec, disks
+
+
+def hotspot_trace(codec, failed_disk, count, rate, seed=0):
+    lay = codec.code.layout
+    total_rows = codec.n_stripes * lay.k_rows
+    rng = np.random.default_rng(seed)
+    reqs = []
+    for i in range(count):
+        disk = failed_disk if rng.random() < 0.8 else int(
+            rng.integers(lay.n_disks)
+        )
+        reqs.append(
+            Request(
+                arrival_s=i / rate, disk=disk, row=int(rng.integers(total_rows))
+            )
+        )
+    return reqs
+
+
+class TestShardServer:
+    def test_every_read_path_byte_exact(self):
+        codec, disks = build()
+        original = disks.copy()
+        lay = codec.code.layout
+        total_rows = codec.n_stripes * lay.k_rows
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        server = ShardServer(
+            codec, disks, patched, failed_disk=2, stripe_lo=0,
+            stripe_hi=codec.n_stripes,
+        )
+        # degraded (failed disk, frontier behind) + direct (survivors)
+        for row in range(total_rows):
+            assert np.array_equal(server.read(2, row), original[2, row]), row
+            assert np.array_equal(server.read(0, row), original[0, row]), row
+        assert server.mismatches == 0
+        assert server.n_degraded == total_rows
+        assert server.n_direct == total_rows
+        assert server.n_patched == 0
+
+    def test_patched_path_after_note_rebuilt(self):
+        codec, disks = build(n_stripes=8)
+        original = disks.copy()
+        lay = codec.code.layout
+        k = lay.k_rows
+        total_rows = codec.n_stripes * k
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        # pre-patch stripes 0..3 with the true bytes, then notify
+        patched[: 4 * k] = original[1, : 4 * k]
+        server = ShardServer(
+            codec, disks, patched, failed_disk=1, stripe_lo=0,
+            stripe_hi=codec.n_stripes,
+        )
+        server.note_rebuilt(np.arange(4))
+        for row in range(total_rows):
+            assert np.array_equal(server.read(1, row), original[1, row]), row
+        assert server.n_patched == 4 * k
+        assert server.n_degraded == 4 * k
+        assert server.mismatches == 0
+
+    def test_patched_mismatch_is_counted(self):
+        codec, disks = build(n_stripes=4)
+        lay = codec.code.layout
+        total_rows = codec.n_stripes * lay.k_rows
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        patched[0] = 0xAB  # wrong bytes for stripe 0
+        server = ShardServer(
+            codec, disks, patched, failed_disk=0, stripe_lo=0,
+            stripe_hi=codec.n_stripes,
+        )
+        server.note_rebuilt(np.asarray([0]))
+        server.read(0, 0)
+        assert server.mismatches >= 1
+
+    def test_batched_degraded_reads_group_and_verify(self):
+        codec, disks = build(n_stripes=12)
+        original = disks.copy()
+        lay = codec.code.layout
+        k = lay.k_rows
+        total_rows = codec.n_stripes * k
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        server = ShardServer(
+            codec, disks, patched, failed_disk=3, stripe_lo=0,
+            stripe_hi=codec.n_stripes,
+        )
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, total_rows, size=64)
+        dks = np.full(64, 3, dtype=np.int64)
+        _, data = server._serve_batch(dks, rows, want_data=True)
+        for t in range(64):
+            assert np.array_equal(data[t], original[3, rows[t]]), t
+        assert server.mismatches == 0
+        assert server.n_batches == 1  # one scoop, grouped internally
+
+    def test_rejects_bad_ranges(self):
+        codec, disks = build(n_stripes=4)
+        total_rows = codec.n_stripes * codec.code.layout.k_rows
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            ShardServer(codec, disks, patched, 0, stripe_lo=2, stripe_hi=2)
+        with pytest.raises(ValueError):
+            ShardServer(codec, disks, patched, 0, stripe_lo=0, stripe_hi=99)
+        with pytest.raises(IndexError):
+            ShardServer(codec, disks, patched, 42, stripe_lo=0, stripe_hi=4)
+
+    def test_serve_trace_open_loop(self):
+        codec, disks = build(n_stripes=12)
+        lay = codec.code.layout
+        total_rows = codec.n_stripes * lay.k_rows
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        server = ShardServer(
+            codec, disks, patched, failed_disk=0, stripe_lo=0,
+            stripe_hi=codec.n_stripes,
+        )
+        import time
+
+        n = 300
+        rng = np.random.default_rng(2)
+        arr = np.arange(n) / 4000.0
+        dks = rng.integers(0, lay.n_disks, size=n)
+        rws = rng.integers(0, total_rows, size=n)
+        res = server.serve_trace(arr, dks, rws, t_start=time.monotonic() + 0.05)
+        assert res["served"] == n
+        assert res["mismatches"] == 0
+        assert res["direct"] + res["patched"] + res["degraded"] == n
+        assert res["p99_ms"] >= res["p50_ms"]
+        assert len(res["latencies"]) == n
+
+
+class TestBoardThrottle:
+    def _board(self, n_shards=2):
+        return np.zeros((n_shards, BOARD_FIELDS), dtype=np.float64)
+
+    def test_worst_p99_ignores_underreporting_shards(self):
+        board = self._board()
+        board[0, BOARD_SERVED] = 100
+        board[0, BOARD_P99_MS] = 5.0
+        board[1, BOARD_SERVED] = 3  # < min_served: not trusted yet
+        board[1, BOARD_P99_MS] = 500.0
+        throttle = BoardThrottle(board, target_p99_ms=10.0)
+        assert throttle.board_p99_ms() == 5.0
+
+    def test_aimd_decreases_over_target_and_recovers(self):
+        board = self._board()
+        board[0, BOARD_SERVED] = 100
+        throttle = BoardThrottle(
+            board, target_p99_ms=10.0, rate=64.0, adjust_interval_s=0.0
+        )
+        board[0, BOARD_P99_MS] = 50.0  # over target -> halve
+        throttle._maybe_adjust()
+        assert throttle.bucket.rate == 32.0
+        assert throttle.rate_decreases == 1
+        board[0, BOARD_P99_MS] = 2.0  # comfortably under -> ramp
+        throttle._maybe_adjust()
+        assert throttle.bucket.rate == pytest.approx(32.0 * 1.2)
+        assert throttle.rate_increases == 1
+
+    def test_rate_floor_holds(self):
+        board = self._board()
+        board[0, BOARD_SERVED] = 100
+        board[0, BOARD_P99_MS] = 1e6
+        throttle = BoardThrottle(
+            board, target_p99_ms=1.0, rate=4.0, floor_rate=2.0,
+            adjust_interval_s=0.0,
+        )
+        for _ in range(10):
+            throttle._maybe_adjust()
+        assert throttle.bucket.rate == 2.0
+
+    def test_no_target_means_no_adjustment(self):
+        board = self._board()
+        board[0, BOARD_SERVED] = 100
+        board[0, BOARD_P99_MS] = 1e6
+        throttle = BoardThrottle(board, target_p99_ms=None, rate=8.0)
+        throttle._maybe_adjust()
+        assert throttle.bucket.rate == 8.0
+
+    def test_rejects_bad_parameters(self):
+        board = self._board()
+        with pytest.raises(ValueError):
+            BoardThrottle(board, target_p99_ms=-1.0)
+        with pytest.raises(ValueError):
+            BoardThrottle(board, floor_rate=0.0)
+
+
+class TestSharedServingState:
+    def test_roundtrip_through_spec(self):
+        state = SharedServingState(3, 8, 4, 2)
+        try:
+            state.disks[:] = 7
+            state.patched[:] = 9
+            state.board[1, BOARD_SERVED] = 42.0
+            peer = SharedServingState.attach(state.spec)
+            try:
+                assert np.all(peer.disks == 7)
+                assert np.all(peer.patched == 9)
+                assert peer.board[1, BOARD_SERVED] == 42.0
+                peer.patched[0, 0] = 1  # writable from the attach side
+                assert state.patched[0, 0] == 1
+            finally:
+                peer.close()
+        finally:
+            state.close()
+
+
+class TestShardedServingEngine:
+    def test_bad_shard_count_raises_immediately(self):
+        codec, disks = build(n_stripes=6)
+        with pytest.raises(ValueError):
+            ShardedServingEngine(codec, disks, failed_disk=0, n_shards=7)
+        with pytest.raises(ValueError):
+            ShardedServingEngine(codec, disks, failed_disk=0, n_shards=0)
+
+    def test_two_shard_run_byte_exact_with_rebuild(self):
+        codec, disks = build(n_stripes=16)
+        engine = ShardedServingEngine(
+            codec, disks, failed_disk=1, n_shards=2, rebuild_chunk_stripes=4
+        )
+        reqs = hotspot_trace(codec, failed_disk=1, count=400, rate=3000.0)
+        report = engine.serve_trace(reqs, timeout_s=120.0)
+        assert report.ok
+        assert report.n_shards == 2
+        assert report.served == 400
+        assert report.mismatches == 0
+        assert report.rebuild_wall_s is not None
+        assert len(report.per_shard) == 2
+        assert sum(r["served"] for r in report.per_shard) == 400
+
+    def test_single_shard_run_without_rebuild(self):
+        codec, disks = build(n_stripes=8)
+        engine = ShardedServingEngine(codec, disks, failed_disk=0, n_shards=1)
+        reqs = hotspot_trace(codec, failed_disk=0, count=150, rate=3000.0)
+        report = engine.serve_trace(reqs, timeout_s=60.0, rebuild=False)
+        assert report.ok
+        assert report.served == 150
+        # no rebuild: nothing ever lands on the patched path
+        assert all(r["patched"] == 0 for r in report.per_shard)
+        assert report.rebuild_wall_s is None
+
+    def test_obs_snapshots_merge_into_parent(self):
+        codec, disks = build(n_stripes=8)
+        rec = obs.enable("sharded-test")
+        try:
+            engine = ShardedServingEngine(
+                codec, disks, failed_disk=0, n_shards=2
+            )
+            reqs = hotspot_trace(codec, failed_disk=0, count=200, rate=3000.0)
+            report = engine.serve_trace(reqs, timeout_s=60.0)
+            assert report.ok
+            snap = rec.snapshot()
+            assert snap["counters"]["serving.reads"] == 200
+        finally:
+            obs.disable()
+
+    def test_simulated_io_run_stays_exact(self):
+        codec, disks = build(n_stripes=8)
+        engine = ShardedServingEngine(
+            codec,
+            disks,
+            failed_disk=2,
+            n_shards=2,
+            element_read_ms=0.05,
+            rebuild_rate=50.0,
+            rebuild_chunk_stripes=4,
+        )
+        reqs = hotspot_trace(codec, failed_disk=2, count=200, rate=2000.0)
+        report = engine.serve_trace(reqs, timeout_s=120.0)
+        assert report.ok
+        assert report.mismatches == 0
+        assert report.throttle["chunks_admitted"] >= 1
+
+    def test_worker_failure_raises_runtime_error(self, tmp_path):
+        codec, disks = build(n_stripes=8)
+        engine = ShardedServingEngine(codec, disks, failed_disk=0, n_shards=2)
+        # poison one shard: make its stripe range invalid after construction
+        engine.bounds = np.asarray([0, 99, 8], dtype=np.int64)
+        reqs = hotspot_trace(codec, failed_disk=0, count=50, rate=3000.0)
+        with pytest.raises(RuntimeError, match="sharded serving run failed"):
+            engine.serve_trace(reqs, timeout_s=60.0, rebuild=False)
