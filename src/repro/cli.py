@@ -246,12 +246,69 @@ def _cmd_recover(args) -> int:
     return 0 if ok else 1
 
 
+def _rebuild_pool(args) -> int:
+    """Pool-rebuild leg of ``rebuild``: one dead disk of a placed pool."""
+    import numpy as np
+
+    from repro.pipeline import compare_placements
+    from repro.placement import PoolStore, make_placement
+    from repro.recovery import SchemePlanCache
+
+    code = make_code(args.family, args.disks)
+    width = code.layout.n_disks
+    plan_cache = SchemePlanCache(args.plan_cache) if args.plan_cache else None
+
+    def store_factory(name: str) -> PoolStore:
+        pm = make_placement(
+            name, args.pool_disks, args.stripes, width, seed=args.seed
+        )
+        store = PoolStore(code, pm, element_size=args.element_size)
+        store.encode_random(np.random.default_rng(args.seed))
+        return store
+
+    # always run the flat baseline too, so the spread win is visible
+    names = ["flat"] + ([args.placement] if args.placement != "flat" else [])
+    results = compare_placements(
+        store_factory,
+        names,
+        dead_disk=args.failed_disk,
+        chunk_stripes=args.chunk_stripes,
+        plan_cache=plan_cache,
+        algorithm=args.algorithm if args.algorithm in ("khan", "u") else "u",
+        depth=args.depth,
+    )
+    print(code.describe())
+    print(
+        f"pool    : {args.pool_disks} disks, {args.stripes} stripes of "
+        f"width {width}, disk {args.failed_disk} dead"
+    )
+    print(f"{'placement':<12} {'max_reads':>9} {'busy':>5} {'spread':>7} "
+          f"{'MB/s':>8} verify")
+    for name in names:
+        r = results[name]
+        load = r.stats["read_load"]
+        print(
+            f"{name:<12} {r.max_read_load:>9} {load['busy_disks']:>5} "
+            f"{r.read_spread:>7.2f} {r.stats['rebuilt_mb_s']:>8.1f} "
+            + ("byte-exact" if r.ok else f"{r.mismatches} MISMATCHES")
+        )
+    target = results[args.placement]
+    flat = results["flat"]
+    if args.placement != "flat" and flat.max_read_load:
+        factor = flat.max_read_load / max(target.max_read_load, 1)
+        print(f"balance : {factor:.1f}x lower max-per-disk load than flat")
+    return 0 if all(r.ok for r in results.values()) else 1
+
+
 def _cmd_rebuild(args) -> int:
     import numpy as np
 
     from repro.codec import ArrayImageCodec
     from repro.pipeline import RebuildPipeline
     from repro.recovery import SchemePlanCache
+
+    if args.placement:
+        return _rebuild_pool(args)
 
     code = make_code(args.family, args.disks)
     codec = ArrayImageCodec(
@@ -302,6 +359,15 @@ def _serve_sharded(args, code, codec, disks) -> int:
     """Open-loop sharded serving leg of the ``serve`` subcommand."""
     from repro.serving import ShardedServingEngine, build_workload_requests
 
+    placement = None
+    if args.placement:
+        from repro.placement import make_placement
+
+        width = code.layout.n_disks
+        n_pool = args.pool_disks or 4 * width
+        placement = make_placement(
+            args.placement, n_pool, codec.n_stripes, width, seed=args.seed
+        )
     total_rows = codec.n_stripes * code.layout.k_rows
     rate = args.client_rate * args.clients
     requests = build_workload_requests(
@@ -324,11 +390,18 @@ def _serve_sharded(args, code, codec, disks) -> int:
         store_path=args.plan_cache,
         target_p99_ms=None if args.no_qos else args.target_p99_ms,
         rebuild_chunk_stripes=args.chunk_stripes,
+        placement=placement,
     )
     print(code.describe())
     print(
         f"serving : disk {args.failed_disk} failed, {args.shards} shard(s), "
         f"open-loop {args.workload} trace at {rate:.0f} req/s aggregate"
+        + (
+            f", shard bounds from {placement.name} placement over "
+            f"{placement.n_pool} disks"
+            if placement is not None
+            else ""
+        )
     )
     try:
         report = engine.serve_trace(requests)
@@ -386,6 +459,13 @@ def _cmd_serve(args) -> int:
     disks = codec.encode_image(codec.random_image(rng))
     original = disks.copy()
 
+    if args.placement and not args.shards:
+        print(
+            "error: --placement requires --shards (placement-aligned "
+            "bounds only exist on the sharded plane)",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards:
         if fault_plan:
             print(
@@ -638,6 +718,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stripes per pipelined chunk")
     p.add_argument("--plan-cache", default=None, metavar="PATH",
                    help="persistent JSON scheme-plan cache")
+    p.add_argument("--placement", default=None,
+                   choices=["flat", "declustered", "d3", "random"],
+                   help="rebuild one disk of a placed *pool* instead of a "
+                   "single array; --failed-disk names the pool disk")
+    p.add_argument("--pool-disks", type=int, default=120,
+                   help="pool size for --placement rebuilds")
 
     p = sub.add_parser(
         "serve", help="degraded-read serving while the disk rebuilds"
@@ -670,6 +756,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=0,
                    help="shard the serving plane across N worker processes "
                    "(open-loop trace replay; 0 = single-process engine)")
+    p.add_argument("--placement", default=None,
+                   choices=["flat", "declustered", "d3", "random"],
+                   help="align shard stripe ranges to the placement groups "
+                   "of a pool of --pool-disks disks (requires --shards)")
+    p.add_argument("--pool-disks", type=int, default=0,
+                   help="pool size for --placement (0 = 4 groups of the "
+                   "code's width)")
     p.add_argument("--plan-cache", default=None, metavar="PATH",
                    help="persistent JSON degraded-plan cache")
     p.add_argument(

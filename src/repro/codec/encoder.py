@@ -81,6 +81,35 @@ class StripeCodec:
                 stripe[self._parity_eids[i]] = 0
         return stripe
 
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Encode many stripes at once: ``(n, n_data, esz)`` -> ``(n, n_elements, esz)``.
+
+        One ``np.bitwise_xor.reduce`` per parity element across the whole
+        batch — the per-stripe :meth:`encode` loop would dominate wall
+        time at pool scale (10^4+ stripes).  Row ``i`` is byte-identical
+        to ``encode(data[i])``.
+        """
+        lay = self.code.layout
+        if data.ndim != 3 or data.shape[1:] != (
+            self.n_data_elements, self.element_size
+        ):
+            raise ValueError(
+                f"batch shape {data.shape} != "
+                f"(n, {self.n_data_elements}, {self.element_size})"
+            )
+        stripes = np.empty(
+            (data.shape[0], lay.n_elements, self.element_size), dtype=np.uint8
+        )
+        stripes[:, self._data_eids] = data
+        for i, sources in enumerate(self._parity_sources):
+            if sources.size:
+                np.bitwise_xor.reduce(
+                    data[:, sources], axis=1, out=stripes[:, self._parity_eids[i]]
+                )
+            else:
+                stripes[:, self._parity_eids[i]] = 0
+        return stripes
+
     def check_stripe(self, stripe: np.ndarray) -> bool:
         """True iff every calculation equation XORs to zero byte-wise."""
         lay = self.code.layout

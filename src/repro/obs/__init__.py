@@ -38,6 +38,7 @@ from repro.obs.export import (
     validate_trace_file,
     validate_trace_line,
 )
+from repro.obs.loadmap import DiskLoadMap
 from repro.obs.profile import breakdown_dict, render_breakdown, stage_breakdown
 from repro.obs.recorder import (
     Counter,
@@ -55,6 +56,7 @@ from repro.obs.recorder import (
 
 __all__ = [
     "Counter",
+    "DiskLoadMap",
     "Gauge",
     "Recorder",
     "Span",

@@ -1,0 +1,100 @@
+"""Per-disk read-load accounting.
+
+Rebuild and serving paths bill element reads to physical disks; at pool
+scale that is a vector of hundreds of counters, and what the balancing
+work actually optimises is its *shape* — the max, the mean over busy
+disks, and the spread between them.  :class:`DiskLoadMap` is the one
+accumulator both the pool rebuild and the benchmarks use: numpy-backed
+adds, a compact summary, and a :func:`publish` hook that folds the
+summary into the process recorder as ``<prefix>.*`` gauges/counters (a
+no-op when tracing is off, like every other obs call).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.obs import recorder as _rec
+
+
+class DiskLoadMap:
+    """Element-read counts per disk of a pool (or array).
+
+    Parameters
+    ----------
+    n_disks:
+        Pool size.  Counts start at zero.
+    """
+
+    def __init__(self, n_disks: int) -> None:
+        if n_disks < 1:
+            raise ValueError(f"n_disks must be >= 1, got {n_disks}")
+        self.reads = np.zeros(n_disks, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def add(self, disk: int, n: int = 1) -> None:
+        """Bill ``n`` element reads to one disk."""
+        self.reads[disk] += n
+
+    def add_many(self, disks: np.ndarray, load: int = 1) -> None:
+        """Bill ``load`` reads to every disk in ``disks`` (repeats add up)."""
+        self.reads += load * np.bincount(
+            np.asarray(disks), minlength=len(self.reads)
+        )
+
+    def add_vector(self, per_disk: np.ndarray) -> None:
+        """Fold a full per-disk read vector into the map."""
+        per_disk = np.asarray(per_disk)
+        if per_disk.shape != self.reads.shape:
+            raise ValueError(
+                f"per-disk vector shape {per_disk.shape} != {self.reads.shape}"
+            )
+        self.reads += per_disk
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return int(self.reads.sum())
+
+    @property
+    def max_per_disk(self) -> int:
+        return int(self.reads.max())
+
+    @property
+    def busy_disks(self) -> int:
+        """Disks that served at least one read."""
+        return int(np.count_nonzero(self.reads))
+
+    @property
+    def mean_busy(self) -> float:
+        """Mean reads over busy disks (idle disks would flatter the mean)."""
+        busy = self.busy_disks
+        return self.total / busy if busy else 0.0
+
+    @property
+    def spread(self) -> float:
+        """max / mean-over-busy — 1.0 is a perfectly balanced fan-out."""
+        mean = self.mean_busy
+        return self.max_per_disk / mean if mean > 0 else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_disks": int(len(self.reads)),
+            "total_reads": self.total,
+            "busy_disks": self.busy_disks,
+            "max_per_disk": self.max_per_disk,
+            "mean_busy": self.mean_busy,
+            "spread": self.spread,
+        }
+
+    def publish(self, prefix: str, rec: Optional[_rec.Recorder] = None) -> None:
+        """Record the summary as ``<prefix>.*`` obs metrics (no-op when off)."""
+        rec = rec if rec is not None else _rec.get_recorder()
+        if rec is None:
+            return
+        rec.count(f"{prefix}.reads", self.total)
+        rec.gauge(f"{prefix}.max_per_disk", self.max_per_disk)
+        rec.gauge(f"{prefix}.busy_disks", self.busy_disks)
+        rec.gauge(f"{prefix}.spread", self.spread)

@@ -5,21 +5,33 @@ iteration (:mod:`repro.pipeline.chunks`), a double-buffered
 ``multiprocessing.shared_memory`` arena (:mod:`repro.pipeline.arena`) and
 the multi-process pipeline itself (:mod:`repro.pipeline.engine`), wired to
 the persistent :class:`~repro.recovery.plancache.SchemePlanCache` so
-repeated rebuilds skip scheme search entirely.  See the "Rebuild
-throughput" section of ``docs/performance.md``.
+repeated rebuilds skip scheme search entirely.  Pool-scale rebuild — one
+dead disk of a placed fleet, reads declustered across hundreds of disks —
+lives in :mod:`repro.pipeline.pool`.  See the "Rebuild throughput" section
+of ``docs/performance.md`` and ``docs/placement.md``.
 """
 
 from repro.pipeline.arena import ArenaSpec, SharedArena
 from repro.pipeline.chunks import StripeChunk, iter_chunks, rotation_classes
 from repro.pipeline.engine import RebuildPipeline, RebuildResult, rebuild_disk
+from repro.pipeline.pool import (
+    PoolRebuild,
+    PoolRebuildResult,
+    compare_placements,
+    rebuild_pool_disk,
+)
 
 __all__ = [
     "ArenaSpec",
+    "PoolRebuild",
+    "PoolRebuildResult",
     "RebuildPipeline",
     "RebuildResult",
     "SharedArena",
     "StripeChunk",
+    "compare_placements",
     "iter_chunks",
     "rebuild_disk",
+    "rebuild_pool_disk",
     "rotation_classes",
 ]

@@ -50,27 +50,52 @@ def trace_arrays(
 
 
 def shard_bounds(n_stripes: int, n_shards: int) -> np.ndarray:
-    """Stripe-range boundaries: shard ``i`` owns ``[bounds[i], bounds[i+1])``."""
-    if not 1 <= n_shards <= n_stripes:
-        raise ValueError(
-            f"n_shards must be in [1, {n_stripes}] for {n_stripes} stripes, "
-            f"got {n_shards}"
-        )
+    """Stripe-range boundaries: shard ``i`` owns ``[bounds[i], bounds[i+1])``.
+
+    ``n_shards`` may exceed ``n_stripes``: the surplus shards come out
+    with empty ranges (repeated bounds), which the replay loop, the
+    latency board and the report merge all tolerate — an over-provisioned
+    shard count degrades to idle workers, never to a crash.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_stripes < 1:
+        raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
     return np.asarray(
         [i * n_stripes // n_shards for i in range(n_shards + 1)], dtype=np.int64
     )
 
 
 def partition_trace(
-    rows: np.ndarray, k_rows: int, n_stripes: int, n_shards: int
+    rows: np.ndarray,
+    k_rows: int,
+    n_stripes: int,
+    n_shards: int,
+    bounds: Optional[np.ndarray] = None,
 ) -> List[np.ndarray]:
     """Per-shard index arrays over one global trace, split by stripe range.
 
     Every request (any disk) is owned by the shard whose stripe range
     contains ``row // k_rows`` — requests stay in global arrival order
-    within each shard because the input is already sorted.
+    within each shard because the input is already sorted.  ``bounds``
+    overrides the even split (e.g. placement-group-aligned bounds from
+    :meth:`repro.placement.PlacementMap.shard_bounds`); empty shards get
+    empty index arrays.
     """
-    bounds = shard_bounds(n_stripes, n_shards)
+    if bounds is None:
+        bounds = shard_bounds(n_stripes, n_shards)
+    else:
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if (
+            len(bounds) != n_shards + 1
+            or bounds[0] != 0
+            or bounds[-1] != n_stripes
+            or np.any(np.diff(bounds) < 0)
+        ):
+            raise ValueError(
+                f"bounds must be monotone over [0, {n_stripes}] with "
+                f"{n_shards + 1} entries, got {bounds.tolist()}"
+            )
     stripes = rows // k_rows
     shard_of = np.searchsorted(bounds, stripes, side="right") - 1
     return [np.flatnonzero(shard_of == i) for i in range(n_shards)]

@@ -198,7 +198,9 @@ class ShardServer:
         lay = codec.code.layout
         if not 0 <= failed_disk < lay.n_disks:
             raise IndexError(f"physical disk {failed_disk} out of range")
-        if not 0 <= stripe_lo < stripe_hi <= codec.n_stripes:
+        # an empty range (lo == hi) is a legal idle shard: over-provisioned
+        # shard counts must degrade to idle workers, not crashes
+        if not 0 <= stripe_lo <= stripe_hi <= codec.n_stripes:
             raise ValueError(
                 f"bad stripe range [{stripe_lo}, {stripe_hi}) for "
                 f"{codec.n_stripes} stripes"
@@ -551,14 +553,17 @@ class ShardedServingEngine:
     """Parent orchestrator: shared state + shard workers + inline rebuild.
 
     Parameters mirror :class:`~repro.serving.engine.ServingEngine` where
-    they overlap; ``n_shards`` must be in ``[1, n_stripes]`` — anything
-    else raises immediately, and a worker that dies raises
-    ``RuntimeError`` from :meth:`serve_trace` (no silent degradation).
-    ``element_read_ms=None`` disables the simulated I/O model (memory
-    speed; correctness tests).  Each shard gets its *own* simulated
-    spindle group, which is the declustered-placement reading of the
-    paper's scale-out story: aggregate service capacity grows with the
+    they overlap; ``n_shards`` must be >= 1 (counts beyond ``n_stripes``
+    leave the surplus shards idle with empty stripe ranges), and a worker
+    that dies raises ``RuntimeError`` from :meth:`serve_trace` (no silent
+    degradation).  ``element_read_ms=None`` disables the simulated I/O
+    model (memory speed; correctness tests).  Each shard gets its *own*
+    simulated spindle group, which is the declustered-placement reading of
+    the paper's scale-out story: aggregate service capacity grows with the
     shard count while any single shard still bounds its own queueing.
+    ``placement`` (a :class:`~repro.placement.PlacementMap` over the same
+    stripe count) aligns the shard bounds to placement-group boundaries,
+    so one shard maps onto whole placement groups and never splits one.
     """
 
     def __init__(
@@ -577,6 +582,7 @@ class ShardedServingEngine:
         rebuild_rate: Optional[float] = None,
         rebuild_chunk_stripes: int = 16,
         priority: bool = True,
+        placement=None,
     ) -> None:
         lay = codec.code.layout
         if not 0 <= failed_disk < lay.n_disks:
@@ -588,7 +594,16 @@ class ShardedServingEngine:
         self.disks = disks
         self.failed_disk = failed_disk
         self.n_shards = n_shards
-        self.bounds = shard_bounds(codec.n_stripes, n_shards)
+        self.placement = placement
+        if placement is not None:
+            if placement.n_stripes != codec.n_stripes:
+                raise ValueError(
+                    f"placement covers {placement.n_stripes} stripes, "
+                    f"array has {codec.n_stripes}"
+                )
+            self.bounds = placement.shard_bounds(n_shards)
+        else:
+            self.bounds = shard_bounds(codec.n_stripes, n_shards)
         self.element_read_ms = element_read_ms
         self.priority_grace_ms = priority_grace_ms
         self.algorithm = algorithm
@@ -650,7 +665,8 @@ class ShardedServingEngine:
         """
         arr, dks, rws = trace_arrays(requests)
         parts = partition_trace(
-            rws, self._k, self.codec.n_stripes, self.n_shards
+            rws, self._k, self.codec.n_stripes, self.n_shards,
+            bounds=self.bounds,
         )
         lay = self.codec.code.layout
         warmed_plans = None

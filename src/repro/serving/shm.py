@@ -71,25 +71,57 @@ class SharedServingState:
         if min(n_disks, total_rows, element_size, n_shards) < 1:
             raise ValueError("all dimensions must be >= 1")
         self._owner = True
+        self._shm_disks = None
+        self._shm_patched = None
+        self._shm_board = None
         disks_bytes = n_disks * total_rows * element_size
         patched_bytes = total_rows * element_size
         board_bytes = n_shards * BOARD_FIELDS * 8
-        self._shm_disks = shared_memory.SharedMemory(create=True, size=disks_bytes)
-        self._shm_patched = shared_memory.SharedMemory(
-            create=True, size=patched_bytes
-        )
-        self._shm_board = shared_memory.SharedMemory(create=True, size=board_bytes)
-        self.spec = ServingStateSpec(
-            disks_name=self._shm_disks.name,
-            patched_name=self._shm_patched.name,
-            board_name=self._shm_board.name,
-            n_disks=n_disks,
-            total_rows=total_rows,
-            element_size=element_size,
-            n_shards=n_shards,
-        )
-        self._build_views()
-        self.board[:] = 0.0
+        # creation is all-or-nothing: if any later block (or anything else
+        # in this constructor) fails, the blocks already created are both
+        # closed AND unlinked — a half-built state must not leak named
+        # segments into /dev/shm
+        try:
+            self._shm_disks = shared_memory.SharedMemory(
+                create=True, size=disks_bytes
+            )
+            self._shm_patched = shared_memory.SharedMemory(
+                create=True, size=patched_bytes
+            )
+            self._shm_board = shared_memory.SharedMemory(
+                create=True, size=board_bytes
+            )
+            self.spec = ServingStateSpec(
+                disks_name=self._shm_disks.name,
+                patched_name=self._shm_patched.name,
+                board_name=self._shm_board.name,
+                n_disks=n_disks,
+                total_rows=total_rows,
+                element_size=element_size,
+                n_shards=n_shards,
+            )
+            self._build_views()
+            self.board[:] = 0.0
+        except BaseException:
+            self._unwind_partial()
+            raise
+
+    def _unwind_partial(self) -> None:
+        """Close and unlink whichever blocks a failed constructor created."""
+        self.disks = self.patched = self.board = None  # release buffer views
+        for name in ("_shm_disks", "_shm_patched", "_shm_board"):
+            shm = getattr(self, name, None)
+            if shm is None:
+                continue
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - best-effort unwind
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            setattr(self, name, None)
 
     @classmethod
     def attach(cls, spec: ServingStateSpec) -> "SharedServingState":

@@ -1,0 +1,66 @@
+"""DiskLoadMap accounting: adds, summary shape, recorder publishing."""
+
+import numpy as np
+import pytest
+
+from repro.obs import DiskLoadMap, Recorder
+
+
+class TestAccumulation:
+    def test_starts_empty(self):
+        m = DiskLoadMap(8)
+        assert m.total == 0
+        assert m.max_per_disk == 0
+        assert m.busy_disks == 0
+        assert m.mean_busy == 0.0
+        assert m.spread == 1.0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskLoadMap(0)
+
+    def test_add_and_add_many_agree(self):
+        a, b = DiskLoadMap(6), DiskLoadMap(6)
+        disks = np.asarray([0, 2, 2, 5, 0, 0])
+        for d in disks:
+            a.add(int(d), 3)
+        b.add_many(disks, 3)
+        assert np.array_equal(a.reads, b.reads)
+        assert a.total == len(disks) * 3
+
+    def test_add_vector_folds_in(self):
+        m = DiskLoadMap(4)
+        m.add_vector(np.asarray([1, 0, 2, 0]))
+        m.add_vector(np.asarray([0, 5, 0, 0]))
+        assert list(m.reads) == [1, 5, 2, 0]
+        with pytest.raises(ValueError, match="shape"):
+            m.add_vector(np.zeros(5, dtype=np.int64))
+
+    def test_shape_metrics(self):
+        m = DiskLoadMap(10)
+        m.add_vector(np.asarray([6, 2, 2, 2, 0, 0, 0, 0, 0, 0]))
+        assert m.busy_disks == 4
+        assert m.max_per_disk == 6
+        assert m.mean_busy == 3.0
+        assert m.spread == 2.0
+        s = m.summary()
+        assert s["n_disks"] == 10
+        assert s["total_reads"] == 12
+        assert s["spread"] == 2.0
+
+
+class TestPublish:
+    def test_publish_records_gauges_and_counter(self):
+        m = DiskLoadMap(5)
+        m.add_many(np.asarray([0, 1, 1]))
+        rec = Recorder("t")
+        m.publish("pool.rebuild", rec=rec)
+        snap = rec.snapshot()
+        assert snap["counters"]["pool.rebuild.reads"] == 3
+        assert snap["gauges"]["pool.rebuild.max_per_disk"]["value"] == 2
+        assert snap["gauges"]["pool.rebuild.busy_disks"]["value"] == 2
+
+    def test_publish_is_noop_when_tracing_off(self):
+        m = DiskLoadMap(3)
+        m.add(0)
+        m.publish("pool.rebuild")  # no process recorder enabled: must not raise

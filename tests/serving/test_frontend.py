@@ -47,7 +47,17 @@ class TestShardBounds:
                 assert np.all(np.diff(b) >= 1)  # every shard owns >= 1 stripe
                 assert len(b) == n_shards + 1
 
-    @pytest.mark.parametrize("bad", [0, -1, 49, 1000])
+    def test_more_shards_than_stripes_yields_empty_shards(self):
+        # over-provisioned shard counts are legal: surplus shards own
+        # empty ranges, every stripe still lands in exactly one shard
+        for n_stripes, n_shards in ((1, 3), (4, 7), (48, 49), (3, 1000)):
+            b = shard_bounds(n_stripes, n_shards)
+            assert b[0] == 0 and b[-1] == n_stripes
+            assert len(b) == n_shards + 1
+            assert np.all(np.diff(b) >= 0)
+            assert int(np.diff(b).sum()) == n_stripes
+
+    @pytest.mark.parametrize("bad", [0, -1])
     def test_out_of_range_raises(self, bad):
         with pytest.raises(ValueError):
             shard_bounds(48, bad)
@@ -72,6 +82,39 @@ class TestPartitionTrace:
         rows = np.arange(40)
         (part,) = partition_trace(rows, 4, 10, 1)
         assert np.array_equal(part, np.arange(40))
+
+    def test_oversubscribed_shards_get_empty_parts(self):
+        # n_shards > n_stripes: every request still lands in exactly one
+        # shard, and the surplus shards get empty index arrays
+        k_rows, n_stripes, n_shards = 2, 3, 8
+        rows = np.arange(n_stripes * k_rows)
+        parts = partition_trace(rows, k_rows, n_stripes, n_shards)
+        assert len(parts) == n_shards
+        seen = np.concatenate(parts)
+        assert sorted(seen.tolist()) == list(range(len(rows)))
+        assert sum(1 for p in parts if len(p) == 0) == n_shards - n_stripes
+
+    def test_explicit_bounds_override_even_split(self):
+        k_rows, n_stripes = 2, 8
+        rows = np.arange(n_stripes * k_rows)
+        bounds = np.asarray([0, 6, 8])  # deliberately uneven
+        parts = partition_trace(rows, k_rows, n_stripes, 2, bounds=bounds)
+        assert np.all(rows[parts[0]] // k_rows < 6)
+        assert np.all(rows[parts[1]] // k_rows >= 6)
+
+    @pytest.mark.parametrize(
+        "n_shards,bounds",
+        [
+            (2, [0, 8]),        # wrong length
+            (2, [1, 4, 8]),     # does not start at 0
+            (2, [0, 4, 7]),     # does not end at n_stripes
+            (3, [0, 5, 3, 8]),  # not monotone
+        ],
+    )
+    def test_bad_explicit_bounds_rejected(self, n_shards, bounds):
+        rows = np.arange(16)
+        with pytest.raises(ValueError):
+            partition_trace(rows, 2, 8, n_shards, bounds=np.asarray(bounds))
 
 
 class TestReplayOpenLoop:

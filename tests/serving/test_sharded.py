@@ -123,11 +123,25 @@ class TestShardServer:
         total_rows = codec.n_stripes * codec.code.layout.k_rows
         patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
         with pytest.raises(ValueError):
-            ShardServer(codec, disks, patched, 0, stripe_lo=2, stripe_hi=2)
+            ShardServer(codec, disks, patched, 0, stripe_lo=3, stripe_hi=2)
         with pytest.raises(ValueError):
             ShardServer(codec, disks, patched, 0, stripe_lo=0, stripe_hi=99)
         with pytest.raises(IndexError):
             ShardServer(codec, disks, patched, 42, stripe_lo=0, stripe_hi=4)
+
+    def test_empty_range_is_a_legal_idle_shard(self):
+        codec, disks = build(n_stripes=4)
+        total_rows = codec.n_stripes * codec.code.layout.k_rows
+        patched = np.zeros((total_rows, codec.element_size), dtype=np.uint8)
+        server = ShardServer(codec, disks, patched, 0, stripe_lo=2, stripe_hi=2)
+        empty = np.empty(0)
+        res = server.serve_trace(
+            empty, empty.astype(np.int64), empty.astype(np.int64),
+            t_start=0.0,
+        )
+        assert res["served"] == 0
+        assert res["mismatches"] == 0
+        assert res["p99_ms"] == 0.0
 
     def test_serve_trace_open_loop(self):
         codec, disks = build(n_stripes=12)
@@ -228,14 +242,59 @@ class TestSharedServingState:
         finally:
             state.close()
 
+    @pytest.mark.parametrize("fail_on", [2, 3])
+    def test_partial_creation_unlinks_earlier_blocks(self, monkeypatch, fail_on):
+        # force the 2nd/3rd allocation to fail: the blocks created before
+        # it must be closed AND unlinked (no leaked /dev/shm segments)
+        from multiprocessing import shared_memory as shm_mod
+
+        real = shm_mod.SharedMemory
+        created = []
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("create"):
+                calls["n"] += 1
+                if calls["n"] == fail_on:
+                    raise OSError(28, "No space left on device")
+            seg = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(seg.name)
+            return seg
+
+        monkeypatch.setattr("repro.serving.shm.shared_memory.SharedMemory", flaky)
+        with pytest.raises(OSError):
+            SharedServingState(3, 8, 4, 2)
+        assert len(created) == fail_on - 1
+        monkeypatch.undo()
+        for name in created:  # every earlier block must be gone
+            with pytest.raises(FileNotFoundError):
+                shm_mod.SharedMemory(name=name)
+
 
 class TestShardedServingEngine:
     def test_bad_shard_count_raises_immediately(self):
         codec, disks = build(n_stripes=6)
         with pytest.raises(ValueError):
-            ShardedServingEngine(codec, disks, failed_disk=0, n_shards=7)
-        with pytest.raises(ValueError):
             ShardedServingEngine(codec, disks, failed_disk=0, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedServingEngine(codec, disks, failed_disk=0, n_shards=-3)
+
+    def test_more_shards_than_stripes_runs_with_idle_shards(self):
+        # n_shards > n_stripes: surplus shards idle with empty ranges;
+        # replay must finish byte-exact and the merged percentiles must
+        # come only from the shards that actually served
+        codec, disks = build(n_stripes=4)
+        engine = ShardedServingEngine(codec, disks, failed_disk=1, n_shards=6)
+        reqs = hotspot_trace(codec, failed_disk=1, count=120, rate=3000.0)
+        report = engine.serve_trace(reqs, timeout_s=120.0, rebuild=False)
+        assert report.ok
+        assert report.n_shards == 6
+        assert report.served == 120
+        assert sum(1 for r in report.per_shard if r["served"] == 0) >= 2
+        # idle shards publish zeros — the board/report p99 is not dragged
+        # to zero by them
+        assert report.p99_ms > 0.0
 
     def test_two_shard_run_byte_exact_with_rebuild(self):
         codec, disks = build(n_stripes=16)
@@ -298,8 +357,9 @@ class TestShardedServingEngine:
     def test_worker_failure_raises_runtime_error(self, tmp_path):
         codec, disks = build(n_stripes=8)
         engine = ShardedServingEngine(codec, disks, failed_disk=0, n_shards=2)
-        # poison one shard: make its stripe range invalid after construction
-        engine.bounds = np.asarray([0, 99, 8], dtype=np.int64)
+        # poison the workers: an out-of-range failed disk makes every
+        # ShardServer constructor raise inside its process
+        engine.failed_disk = 42
         reqs = hotspot_trace(codec, failed_disk=0, count=50, rate=3000.0)
         with pytest.raises(RuntimeError, match="sharded serving run failed"):
             engine.serve_trace(reqs, timeout_s=60.0, rebuild=False)

@@ -213,6 +213,29 @@ class TestCommands:
         assert main(args) == 0
         assert "0 miss(es)" in capsys.readouterr().out
 
+    def test_rebuild_pool_placement(self, capsys):
+        assert main(["rebuild", "--family", "rdp", "--disks", "7",
+                     "--placement", "declustered", "--pool-disks", "64",
+                     "--stripes", "400", "--element-size", "16",
+                     "--failed-disk", "3", "--chunk-stripes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "pool    : 64 disks" in out
+        assert "flat" in out and "declustered" in out
+        assert "lower max-per-disk load than flat" in out
+        assert "MISMATCH" not in out
+
+    def test_rebuild_pool_flat_baseline_only(self, capsys):
+        assert main(["rebuild", "--family", "rdp", "--disks", "5",
+                     "--placement", "flat", "--pool-disks", "24",
+                     "--stripes", "60", "--element-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("byte-exact") == 1  # no comparison row
+
+    def test_serve_placement_requires_shards(self, capsys):
+        assert main(["serve", "--family", "rdp", "--disks", "7",
+                     "--placement", "d3"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestErrorContract:
     """Unknown families / invalid geometry: one-line stderr, exit 2."""
