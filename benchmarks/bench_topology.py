@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Topology benchmark: rack-aware vs topology-blind rebuild over a tree.
+
+Lays a disk pool out over a racks -> machines -> disks datacenter tree,
+kills one disk, and rebuilds it two ways:
+
+* ``aware``  — rack-aware placement (co-location cap per rack) driven by
+  the :class:`~repro.topology.TopologyAwarePlanner`, whose lexicographic
+  max-per-{uplink, NIC, disk} objective runs on the unchanged UCS search
+  engine, one search per canonical rack signature;
+* ``blind``  — cyclic declustered placement with the scalar per-role
+  U-scheme (the PR-7 baseline), billed through the same tree.
+
+Every arm rebuilds through the real :class:`~repro.pipeline.pool.
+PoolRebuild` data plane and is verified byte-identical; the executed
+per-link billing is compared element-for-element against the planner's
+analytic loads (``read_loads`` / ``link_read_loads``) — any drift
+between planning and execution fails the point.  Rebuild makespan is
+priced by the event-driven max-min fair-share flow simulator
+(:func:`~repro.topology.rebuild_makespan`) under an oversubscribed
+top-of-rack uplink.
+
+Results land in ``BENCH_topology.json`` at the repo root::
+
+    {
+      "config": {"grid": [...], "bandwidth_mb_s": {...}, ...},
+      "points": [{"family", "topology", "n_pool", "n_stripes",
+                  "per_plan": {"aware": {...}, "blind": {...}},
+                  "uplink_reduction", "makespan_speedup",
+                  "billing_exact": true, "byte_identical": true}, ...],
+      "summary": {"uplink_reduction_geomean": ...,
+                  "makespan_speedup_geomean": ...}
+    }
+
+``--check`` enforces the acceptance bar: on every >= 4-rack point the
+aware plan's max-rack-uplink element reads must be >= 1.5x lower than
+blind's AND its simulated makespan strictly lower, with executed billing
+byte-matching the analytic loads and every rebuild byte-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_topology.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_topology.py --quick   # CI smoke
+    ... --check   # additionally enforce the topology-awareness floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.codes import make_code  # noqa: E402
+from repro.pipeline import PoolRebuild  # noqa: E402
+from repro.placement import PoolStore, make_placement  # noqa: E402
+from repro.topology import (  # noqa: E402
+    Topology,
+    TopologyAwarePlanner,
+    rebuild_makespan,
+)
+
+#: oversubscribed top-of-rack uplink: the regime topology-awareness targets
+BANDWIDTH = {"disk_bw": 200.0, "nic_bw": 1200.0, "rack_bw": 800.0}
+
+#: (family, n_disks, topology spec, n_stripes, element_size, dead_disk)
+FULL_GRID = [
+    ("rdp", 8, "6x2x10", 2400, 16, 5),
+    ("rdp", 8, "8x2x8", 3200, 16, 17),
+    ("evenodd", 7, "6x2x10", 2400, 16, 3),
+    ("cauchy_rs", 8, "4x4x10", 3200, 16, 1),
+]
+QUICK_GRID = [
+    ("rdp", 8, "6x2x10", 900, 16, 5),
+    ("evenodd", 7, "4x3x10", 900, 16, 3),
+]
+
+
+def _geomean(values: List[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def measure_point(
+    family: str,
+    n_disks: int,
+    topo_spec: str,
+    n_stripes: int,
+    element_size: int,
+    dead_disk: int,
+    chunk_stripes: int,
+    seed: int,
+    verbose: bool,
+) -> Dict:
+    code = make_code(family, n_disks)
+    width = code.layout.n_disks
+    topo = Topology.parse(topo_spec, **BANDWIDTH)
+    per_plan: Dict[str, Dict] = {}
+    ok = True
+    billing_exact = True
+    for plan, placement_name in (("aware", "rack_aware"), ("blind", "declustered")):
+        pm = make_placement(
+            placement_name, topo.n_disks, n_stripes, width,
+            seed=seed, topology=topo,
+        )
+        store = PoolStore(code, pm, element_size=element_size)
+        store.encode_random(np.random.default_rng(seed))
+        planner = TopologyAwarePlanner(code, topo) if plan == "aware" else None
+        engine = PoolRebuild(
+            store, chunk_stripes=chunk_stripes, topo_planner=planner
+        )
+        res = engine.rebuild(dead_disk)
+        ok = ok and res.ok
+        if not res.ok:
+            raise AssertionError(
+                f"pool rebuild mismatch: {family}@{n_disks} topo={topo_spec} "
+                f"plan={plan} ({res.mismatches} bad rows)"
+            )
+        # executed billing must match the analytic plan element-for-element
+        analytic = engine.link_read_loads(dead_disk)
+        executed = res.link_loads
+        exact = (
+            np.array_equal(analytic.disk_reads, executed.disk_reads)
+            and np.array_equal(analytic.machine_reads, executed.machine_reads)
+            and np.array_equal(analytic.rack_reads, executed.rack_reads)
+            and np.array_equal(engine.read_loads(dead_disk), res.reads_per_disk)
+        )
+        billing_exact = billing_exact and exact
+        executed.check_rollup()
+        sim = rebuild_makespan(
+            topo, executed.disk_reads, element_size=element_size
+        )
+        per_plan[plan] = {
+            "placement": placement_name,
+            "total_reads": executed.total,
+            "max_disk_reads": executed.max_per_disk,
+            "max_nic_reads": executed.max_per_machine,
+            "max_uplink_reads": executed.max_per_rack,
+            "makespan_s": sim.makespan_s,
+            "bottleneck": sim.bottleneck,
+            "billing_exact": exact,
+            "searches": planner.searches if planner else 0,
+            "fallbacks": planner.fallbacks if planner else 0,
+            "rebuilt_mb_s": res.stats["rebuilt_mb_s"],
+        }
+    aware, blind = per_plan["aware"], per_plan["blind"]
+    uplink_reduction = (
+        blind["max_uplink_reads"] / aware["max_uplink_reads"]
+        if aware["max_uplink_reads"] else float("inf")
+    )
+    makespan_speedup = (
+        blind["makespan_s"] / aware["makespan_s"]
+        if aware["makespan_s"] > 0 else float("inf")
+    )
+    if verbose:
+        print(
+            f"  {family:9s} n={n_disks:2d} topo={topo_spec:7s} "
+            f"stripes={n_stripes:5d} uplink: aware="
+            f"{aware['max_uplink_reads']:>5d} blind="
+            f"{blind['max_uplink_reads']:>5d} ({uplink_reduction:.2f}x) "
+            f"makespan {makespan_speedup:.2f}x"
+        )
+    return {
+        "family": family,
+        "n_disks": n_disks,
+        "topology": topo_spec,
+        "n_racks": topo.n_racks,
+        "n_pool": topo.n_disks,
+        "n_stripes": n_stripes,
+        "element_size": element_size,
+        "dead_disk": dead_disk,
+        "per_plan": per_plan,
+        "uplink_reduction": uplink_reduction,
+        "makespan_speedup": makespan_speedup,
+        "billing_exact": billing_exact,
+        "byte_identical": ok,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small CI grid")
+    ap.add_argument("--chunk-stripes", type=int, default=256)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_topology.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="enforce the 1.5x uplink floor + strict makespan win "
+                    "on every >= 4-rack point")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    verbose = not args.quiet
+
+    if verbose:
+        print(f"topology grid ({len(grid)} points, aware vs blind):")
+    points = [
+        measure_point(*spec, chunk_stripes=args.chunk_stripes,
+                      seed=args.seed, verbose=verbose)
+        for spec in grid
+    ]
+
+    summary = {
+        "uplink_reduction_geomean": _geomean(
+            [p["uplink_reduction"] for p in points]
+        ),
+        "makespan_speedup_geomean": _geomean(
+            [p["makespan_speedup"] for p in points]
+        ),
+        "all_billing_exact": all(p["billing_exact"] for p in points),
+        "all_byte_identical": all(p["byte_identical"] for p in points),
+    }
+
+    payload = {
+        "config": {
+            "grid": [list(g) for g in grid],
+            "bandwidth_mb_s": BANDWIDTH,
+            "chunk_stripes": args.chunk_stripes,
+            "seed": args.seed,
+            "cpu_count": os.cpu_count(),
+            "pure_python": bool(int(os.environ.get("REPRO_PURE_PYTHON", "0"))),
+            "quick": args.quick,
+        },
+        "points": points,
+        "summary": summary,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+
+    if verbose:
+        print(
+            "summary: max-rack-uplink load "
+            f"{summary['uplink_reduction_geomean']:.2f}x lower, simulated "
+            f"rebuild {summary['makespan_speedup_geomean']:.2f}x faster than "
+            "topology-blind (geomean)"
+        )
+        print(f"results written to {args.output}")
+
+    if args.check:
+        failures = []
+        big = [p for p in points if p["n_racks"] >= 4]
+        if not big:
+            failures.append("no >= 4-rack point in the grid")
+        for p in big:
+            tag = f"{p['family']}@{p['n_disks']} topo={p['topology']}"
+            if p["uplink_reduction"] < 1.5:
+                failures.append(
+                    f"{tag}: uplink reduction {p['uplink_reduction']:.2f}x "
+                    "< 1.5x floor"
+                )
+            if not p["makespan_speedup"] > 1.0:
+                failures.append(
+                    f"{tag}: aware makespan not strictly lower "
+                    f"(speedup {p['makespan_speedup']:.3f}x)"
+                )
+            if not p["billing_exact"]:
+                failures.append(f"{tag}: executed billing != analytic plan")
+            if not p["byte_identical"]:
+                failures.append(f"{tag}: rebuild not byte-identical")
+        if failures:
+            print("CHECK FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(
+            f"check OK: uplink >= 1.5x lower and makespan strictly lower on "
+            f"all {len(big)} >= 4-rack points, billing exact, byte-identical"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

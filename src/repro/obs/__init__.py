@@ -38,7 +38,7 @@ from repro.obs.export import (
     validate_trace_file,
     validate_trace_line,
 )
-from repro.obs.loadmap import DiskLoadMap
+from repro.obs.loadmap import DiskLoadMap, LinkLoadMap
 from repro.obs.profile import breakdown_dict, render_breakdown, stage_breakdown
 from repro.obs.recorder import (
     Counter,
@@ -58,6 +58,7 @@ __all__ = [
     "Counter",
     "DiskLoadMap",
     "Gauge",
+    "LinkLoadMap",
     "Recorder",
     "Span",
     "TRACE_SCHEMA",

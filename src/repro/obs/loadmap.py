@@ -1,4 +1,4 @@
-"""Per-disk read-load accounting.
+"""Per-disk and per-link read-load accounting.
 
 Rebuild and serving paths bill element reads to physical disks; at pool
 scale that is a vector of hundreds of counters, and what the balancing
@@ -8,6 +8,13 @@ accumulator both the pool rebuild and the benchmarks use: numpy-backed
 adds, a compact summary, and a :func:`publish` hook that folds the
 summary into the process recorder as ``<prefix>.*`` gauges/counters (a
 no-op when tracing is off, like every other obs call).
+
+:class:`LinkLoadMap` is the datacenter companion: the same adds, but every
+element read billed to a disk is also billed *up the topology tree* — to
+the disk's machine NIC and its rack's top-of-rack uplink.  At fleet scale
+the recovery bottleneck is those shared links, not the disks (Rashmi et
+al.'s warehouse study), so the per-level maxima are the numbers the
+topology-aware planner optimises and the benchmarks score.
 """
 
 from __future__ import annotations
@@ -17,6 +24,54 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.obs import recorder as _rec
+
+
+def _coerce_disk_ids(disks, n_disks: int) -> np.ndarray:
+    """Validate and coerce a batch of disk ids to an int64 array.
+
+    Accepts any array-like (including the empty Python list, which numpy
+    would otherwise promote to float64 and :func:`np.bincount` would
+    reject).  Out-of-range ids raise :class:`IndexError` naming the first
+    offending id — numpy's negative indexing must never silently bill the
+    last disk.
+    """
+    ids = np.asarray(disks, dtype=np.int64).reshape(-1)
+    if ids.size:
+        lo, hi = int(ids.min()), int(ids.max())
+        if lo < 0 or hi >= n_disks:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"pool disk {bad} out of range [0, {n_disks})")
+    return ids
+
+
+def _coerce_load_vector(per_disk, shape) -> np.ndarray:
+    """Validate a full per-disk load vector: integral-valued, non-negative.
+
+    Float vectors (a common product of numpy arithmetic upstream) are
+    accepted when every entry is integral and cast explicitly; anything
+    fractional or negative raises a clear :class:`ValueError` instead of
+    the in-place-cast ``UFuncTypeError`` numpy would produce.
+    """
+    vec = np.asarray(per_disk)
+    if vec.shape != shape:
+        raise ValueError(f"per-disk vector shape {vec.shape} != {shape}")
+    if not np.issubdtype(vec.dtype, np.integer):
+        as_int = vec.astype(np.int64, casting="unsafe")
+        if not np.array_equal(as_int, vec):
+            raise ValueError(
+                "per-disk vector has non-integral entries; element reads "
+                "are counts"
+            )
+        vec = as_int
+    else:
+        vec = vec.astype(np.int64, copy=False)
+    if vec.size and vec.min() < 0:
+        bad = int(np.argmin(vec))
+        raise ValueError(
+            f"per-disk vector has a negative entry at disk {bad} "
+            f"({int(vec[bad])}); element reads are counts"
+        )
+    return vec
 
 
 class DiskLoadMap:
@@ -36,22 +91,29 @@ class DiskLoadMap:
     # ------------------------------------------------------------------
     def add(self, disk: int, n: int = 1) -> None:
         """Bill ``n`` element reads to one disk."""
+        if not 0 <= disk < len(self.reads):
+            raise IndexError(
+                f"pool disk {disk} out of range [0, {len(self.reads)})"
+            )
         self.reads[disk] += n
 
     def add_many(self, disks: np.ndarray, load: int = 1) -> None:
-        """Bill ``load`` reads to every disk in ``disks`` (repeats add up)."""
-        self.reads += load * np.bincount(
-            np.asarray(disks), minlength=len(self.reads)
-        )
+        """Bill ``load`` reads to every disk in ``disks`` (repeats add up).
+
+        An empty batch is a no-op.
+        """
+        ids = _coerce_disk_ids(disks, len(self.reads))
+        if not ids.size:
+            return
+        self.reads += load * np.bincount(ids, minlength=len(self.reads))
 
     def add_vector(self, per_disk: np.ndarray) -> None:
-        """Fold a full per-disk read vector into the map."""
-        per_disk = np.asarray(per_disk)
-        if per_disk.shape != self.reads.shape:
-            raise ValueError(
-                f"per-disk vector shape {per_disk.shape} != {self.reads.shape}"
-            )
-        self.reads += per_disk
+        """Fold a full per-disk read vector into the map.
+
+        Integral-valued float vectors are accepted (and cast); fractional
+        or negative entries raise :class:`ValueError`.
+        """
+        self.reads += _coerce_load_vector(per_disk, self.reads.shape)
 
     # ------------------------------------------------------------------
     @property
@@ -98,3 +160,133 @@ class DiskLoadMap:
         rec.gauge(f"{prefix}.max_per_disk", self.max_per_disk)
         rec.gauge(f"{prefix}.busy_disks", self.busy_disks)
         rec.gauge(f"{prefix}.spread", self.spread)
+
+
+class LinkLoadMap:
+    """Element-read counts billed up a datacenter topology tree.
+
+    Every read billed to a pool disk transits that disk's own link, its
+    machine's NIC, and its rack's top-of-rack uplink on the way to
+    wherever reconstruction happens — so one ``add`` bills all three
+    levels at once.  The per-level load vectors are exact roll-ups: a
+    machine's load is the sum of its disks' loads, a rack's the sum of
+    its machines'.
+
+    Parameters
+    ----------
+    topology:
+        Any object with ``n_disks``/``n_machines``/``n_racks`` counts and
+        ``machine_of_disk``/``rack_of_machine`` index arrays — e.g. a
+        :class:`repro.topology.Topology` (duck-typed so :mod:`repro.obs`
+        stays dependency-free).
+    """
+
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        self.disk_reads = np.zeros(topology.n_disks, dtype=np.int64)
+        self.machine_reads = np.zeros(topology.n_machines, dtype=np.int64)
+        self.rack_reads = np.zeros(topology.n_racks, dtype=np.int64)
+        self._machine_of_disk = np.asarray(
+            topology.machine_of_disk, dtype=np.int64
+        )
+        self._rack_of_machine = np.asarray(
+            topology.rack_of_machine, dtype=np.int64
+        )
+        self._rack_of_disk = self._rack_of_machine[self._machine_of_disk]
+
+    # ------------------------------------------------------------------
+    def add(self, disk: int, n: int = 1) -> None:
+        """Bill ``n`` element reads to one disk and its uplinks."""
+        if not 0 <= disk < len(self.disk_reads):
+            raise IndexError(
+                f"pool disk {disk} out of range [0, {len(self.disk_reads)})"
+            )
+        self.disk_reads[disk] += n
+        self.machine_reads[self._machine_of_disk[disk]] += n
+        self.rack_reads[self._rack_of_disk[disk]] += n
+
+    def add_many(self, disks: np.ndarray, load: int = 1) -> None:
+        """Bill ``load`` reads to every disk in ``disks``, up the tree.
+
+        An empty batch is a no-op.
+        """
+        ids = _coerce_disk_ids(disks, len(self.disk_reads))
+        if not ids.size:
+            return
+        per_disk = load * np.bincount(ids, minlength=len(self.disk_reads))
+        self._fold(per_disk)
+
+    def add_vector(self, per_disk: np.ndarray) -> None:
+        """Fold a full per-disk read vector into the map, up the tree."""
+        self._fold(_coerce_load_vector(per_disk, self.disk_reads.shape))
+
+    def _fold(self, per_disk: np.ndarray) -> None:
+        self.disk_reads += per_disk
+        self.machine_reads += np.bincount(
+            self._machine_of_disk,
+            weights=per_disk,
+            minlength=len(self.machine_reads),
+        ).astype(np.int64)
+        self.rack_reads += np.bincount(
+            self._rack_of_disk,
+            weights=per_disk,
+            minlength=len(self.rack_reads),
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return int(self.disk_reads.sum())
+
+    @property
+    def max_per_disk(self) -> int:
+        return int(self.disk_reads.max())
+
+    @property
+    def max_per_machine(self) -> int:
+        """Heaviest machine-NIC load (elements leaving one machine)."""
+        return int(self.machine_reads.max())
+
+    @property
+    def max_per_rack(self) -> int:
+        """Heaviest rack-uplink load (elements leaving one rack)."""
+        return int(self.rack_reads.max())
+
+    def check_rollup(self) -> None:
+        """Assert sum-of-children == parent at every tree level."""
+        machines = np.bincount(
+            self._machine_of_disk,
+            weights=self.disk_reads,
+            minlength=len(self.machine_reads),
+        ).astype(np.int64)
+        racks = np.bincount(
+            self._rack_of_machine,
+            weights=self.machine_reads,
+            minlength=len(self.rack_reads),
+        ).astype(np.int64)
+        if not np.array_equal(machines, self.machine_reads):
+            raise AssertionError("machine loads are not the sum of disk loads")
+        if not np.array_equal(racks, self.rack_reads):
+            raise AssertionError("rack loads are not the sum of machine loads")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_disks": int(len(self.disk_reads)),
+            "n_machines": int(len(self.machine_reads)),
+            "n_racks": int(len(self.rack_reads)),
+            "total_reads": self.total,
+            "max_per_disk": self.max_per_disk,
+            "max_per_machine": self.max_per_machine,
+            "max_per_rack": self.max_per_rack,
+            "busy_racks": int(np.count_nonzero(self.rack_reads)),
+        }
+
+    def publish(self, prefix: str, rec: Optional[_rec.Recorder] = None) -> None:
+        """Record the summary as ``<prefix>.*`` obs metrics (no-op when off)."""
+        rec = rec if rec is not None else _rec.get_recorder()
+        if rec is None:
+            return
+        rec.count(f"{prefix}.reads", self.total)
+        rec.gauge(f"{prefix}.max_per_disk", self.max_per_disk)
+        rec.gauge(f"{prefix}.max_per_machine", self.max_per_machine)
+        rec.gauge(f"{prefix}.max_per_rack", self.max_per_rack)

@@ -14,6 +14,15 @@ mates, a declustered map fans the same reads out pool-wide and the
 max-per-disk load (the rebuild-time bound when disks are equally fast)
 drops by the declustering factor.
 
+When the placement carries a topology (:meth:`PlacementMap.attach_topology`),
+every billed read is *also* billed up the tree through a
+:class:`~repro.obs.LinkLoadMap` — per disk, per machine NIC, per rack
+uplink — and a :class:`~repro.topology.TopologyAwarePlanner` can replace
+the scalar per-role scheme with per-rack-signature schemes that minimise
+the lexicographic max-per-{uplink, NIC, disk} load.  The executed billing
+must match the planner's analytic loads exactly (``read_loads`` /
+``link_read_loads``); the benchmarks enforce that contract.
+
 Every recovered row is verified byte-identical against the store before
 the result is returned — a placement bug surfaces as a mismatch count,
 never as silent corruption.
@@ -23,16 +32,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.codec.batch import BatchReconstructor
-from repro.placement.map import rebuild_read_loads
 from repro.placement.pool import PoolStore
 from repro.recovery.plancache import SchemePlanCache
 from repro.recovery.planner import RecoveryPlanner
+from repro.recovery.scheme import RecoveryScheme
 
 
 @dataclass
@@ -45,6 +54,8 @@ class PoolRebuildResult:
     reads_per_disk: np.ndarray     #: element reads billed per pool disk
     mismatches: int                #: rows that failed byte verification
     stats: Dict[str, Any] = field(default_factory=dict)
+    link_loads: Optional["obs.LinkLoadMap"] = None  #: per-link billing, when
+                                                    #: a topology is attached
 
     @property
     def ok(self) -> bool:
@@ -73,6 +84,11 @@ class PoolRebuild:
     planner / plan_cache / algorithm / depth:
         Scheme search configuration, exactly as in
         :class:`~repro.pipeline.engine.RebuildPipeline`.
+    topo_planner:
+        Optional :class:`~repro.topology.TopologyAwarePlanner`; requires
+        the store's placement to have that planner's topology attached.
+        Stripes are then grouped by (role, rack signature) and each group
+        gets its lexicographically link-optimal scheme.
     throttle:
         Optional admission hook called before each chunk (QoS point).
     """
@@ -85,6 +101,7 @@ class PoolRebuild:
         plan_cache: Optional[SchemePlanCache] = None,
         algorithm: str = "u",
         depth: int = 1,
+        topo_planner=None,
         throttle: Optional[Callable[[np.ndarray], None]] = None,
     ) -> None:
         if chunk_stripes < 1:
@@ -95,17 +112,44 @@ class PoolRebuild:
         self.planner = planner or RecoveryPlanner(
             store.code, algorithm=algorithm, depth=depth, plan_cache=plan_cache
         )
+        if topo_planner is not None:
+            # fail fast on a planner/placement topology mismatch
+            store.placement.require_leaf_of_disk(topo_planner.topology)
+        self.topo_planner = topo_planner
 
     # ------------------------------------------------------------------
+    def stripe_groups(
+        self, dead_disk: int
+    ) -> Iterator[Tuple[int, np.ndarray, RecoveryScheme]]:
+        """``(role, stripe_ids, scheme)`` execution groups for a rebuild.
+
+        The single unit both the executed rebuild and the analytic load
+        computations iterate, so their billing agrees by construction.
+        With a topology-aware planner attached the groups split further
+        by rack signature; otherwise one group per logical role.
+        """
+        placement = self.store.placement
+        if self.topo_planner is not None:
+            yield from self.topo_planner.stripe_groups(placement, dead_disk)
+            return
+        stripes, roles = placement.roles_of_disk(dead_disk)
+        for role in np.unique(roles):
+            role = int(role)
+            sel = np.sort(stripes[roles == role])
+            yield role, sel, self.planner.scheme_for_disk(role)
+
     def read_loads(self, dead_disk: int) -> np.ndarray:
         """Planned per-pool-disk reads for a rebuild (no bytes moved)."""
-        placement = self.store.placement
-        _, roles = placement.roles_of_disk(dead_disk)
-        loads_by_role = {
-            int(r): self.planner.scheme_for_disk(int(r)).loads
-            for r in np.unique(roles)
-        }
-        return rebuild_read_loads(placement, dead_disk, loads_by_role)
+        from repro.topology.planner import plan_read_loads
+
+        groups = self.stripe_groups(dead_disk)
+        return plan_read_loads(groups, self.store.placement, dead_disk)
+
+    def link_read_loads(self, dead_disk: int) -> "obs.LinkLoadMap":
+        """Planned per-link loads (requires an attached topology)."""
+        from repro.topology.planner import link_loads
+
+        return link_loads(self.store.placement, self.read_loads(dead_disk))
 
     # ------------------------------------------------------------------
     def rebuild(self, dead_disk: int) -> PoolRebuildResult:
@@ -114,62 +158,73 @@ class PoolRebuild:
         placement = store.placement
         if store.stripes is None:
             raise RuntimeError("pool store is empty — call encode_random() first")
-        stripes, roles = placement.roles_of_disk(dead_disk)
+        all_stripes, _ = placement.roles_of_disk(dead_disk)
+        all_stripes = np.sort(all_stripes)
+        pos_of_stripe = {int(s): i for i, s in enumerate(all_stripes)}
         k, esz = store.k_rows, store.element_size
         lay = store.code.layout
-        order = np.argsort(stripes, kind="stable")
-        stripes, roles = stripes[order], roles[order]
 
-        rows = np.empty((len(stripes), k, esz), dtype=np.uint8)
+        rows = np.empty((len(all_stripes), k, esz), dtype=np.uint8)
         loadmap = obs.DiskLoadMap(placement.n_pool)
+        linkmap = None
+        leaf = None
+        if placement.topology is not None:
+            linkmap = obs.LinkLoadMap(placement.topology)
+            leaf = placement.leaf_of_disk
         mismatches = 0
         n_chunks = 0
+        n_groups = 0
         t0 = time.perf_counter()
         with obs.span(
             "placement.rebuild",
             placement=placement.name,
             pool=placement.n_pool,
-            affected=len(stripes),
+            affected=len(all_stripes),
         ):
-            for role in np.unique(roles):
-                sel = np.flatnonzero(roles == role)
-                scheme = self.planner.scheme_for_disk(int(role))
+            for role, group_ids, scheme in self.stripe_groups(dead_disk):
+                n_groups += 1
                 recon = BatchReconstructor(scheme)
-                failed_lo, failed_hi = int(role) * k, (int(role) + 1) * k
-                for lo in range(0, len(sel), self.chunk_stripes):
-                    idx = sel[lo : lo + self.chunk_stripes]
-                    chunk_ids = stripes[idx]
+                failed_lo, failed_hi = role * k, (role + 1) * k
+                for lo in range(0, len(group_ids), self.chunk_stripes):
+                    chunk_ids = group_ids[lo : lo + self.chunk_stripes]
                     if self.throttle is not None:
                         self.throttle(chunk_ids)
                     batch = store.stripes[chunk_ids].copy()
                     # poison the dead rows: any scheme that accidentally
                     # reads them fails verification instead of passing
                     batch[:, failed_lo:failed_hi] = 0xAA
-                    out = np.empty((len(idx), k, esz), dtype=np.uint8)
+                    out = np.empty((len(chunk_ids), k, esz), dtype=np.uint8)
                     recon.recover_batch_into(batch, out)
+                    idx = np.asarray(
+                        [pos_of_stripe[int(s)] for s in chunk_ids],
+                        dtype=np.int64,
+                    )
                     rows[idx] = out
-                    truth = store.role_rows(chunk_ids, int(role))
+                    truth = store.role_rows(chunk_ids, role)
                     bad = ~np.all(out == truth, axis=(1, 2))
                     mismatches += int(bad.sum())
                     for logical, load in enumerate(scheme.loads):
-                        if load and logical != int(role):
-                            loadmap.add_many(
-                                placement.disk_of_role(chunk_ids, logical), load
-                            )
+                        if load and logical != role:
+                            hosts = placement.disk_of_role(chunk_ids, logical)
+                            loadmap.add_many(hosts, load)
+                            if linkmap is not None:
+                                linkmap.add_many(leaf[hosts], load)
                     n_chunks += 1
                     obs.count("placement.chunks")
         wall_s = time.perf_counter() - t0
 
         loadmap.publish("placement.rebuild_reads")
+        if linkmap is not None:
+            linkmap.publish("placement.rebuild_links")
         obs.count("placement.rebuilds")
-        obs.count("placement.stripes", len(stripes))
+        obs.count("placement.stripes", len(all_stripes))
         rebuilt_bytes = rows.nbytes
         stats = {
             "placement": placement.name,
             "n_pool": placement.n_pool,
             "width": lay.n_disks,
-            "affected_stripes": int(len(stripes)),
-            "roles": int(len(np.unique(roles))),
+            "affected_stripes": int(len(all_stripes)),
+            "groups": n_groups,
             "chunks": n_chunks,
             "chunk_stripes": self.chunk_stripes,
             "rebuilt_bytes": int(rebuilt_bytes),
@@ -177,13 +232,17 @@ class PoolRebuild:
             "rebuilt_mb_s": (rebuilt_bytes / 2**20) / wall_s if wall_s > 0 else 0.0,
             "read_load": loadmap.summary(),
         }
+        if linkmap is not None:
+            stats["link_load"] = linkmap.summary()
+            stats["topology"] = placement.topology.spec()
         return PoolRebuildResult(
             dead_disk=dead_disk,
             rows=rows,
-            stripe_ids=stripes,
+            stripe_ids=all_stripes,
             reads_per_disk=loadmap.reads,
             mismatches=mismatches,
             stats=stats,
+            link_loads=linkmap,
         )
 
 
@@ -194,6 +253,7 @@ def rebuild_pool_disk(
     plan_cache: Optional[SchemePlanCache] = None,
     algorithm: str = "u",
     depth: int = 1,
+    topo_planner=None,
 ) -> PoolRebuildResult:
     """One-call pool rebuild (see :class:`PoolRebuild`)."""
     engine = PoolRebuild(
@@ -202,6 +262,7 @@ def rebuild_pool_disk(
         plan_cache=plan_cache,
         algorithm=algorithm,
         depth=depth,
+        topo_planner=topo_planner,
     )
     return engine.rebuild(dead_disk)
 

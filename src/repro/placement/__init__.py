@@ -13,6 +13,7 @@ from repro.placement.map import (
     DeclusteredPlacement,
     FlatPlacement,
     PlacementMap,
+    RackAwarePlacement,
     RandomPlacement,
     list_placements,
     make_placement,
@@ -26,6 +27,7 @@ __all__ = [
     "FlatPlacement",
     "PlacementMap",
     "PoolStore",
+    "RackAwarePlacement",
     "RandomPlacement",
     "list_placements",
     "make_placement",

@@ -22,6 +22,16 @@ interface:
   randomness.
 * :class:`RandomPlacement` — seeded uniform-random ``w``-subsets; the
   declustering upper bound the combinatorial layouts are judged against.
+* :class:`RackAwarePlacement` — topology-aware declustering: slots walk
+  the racks round-robin (capping co-located roles per rack at
+  ``ceil(w / racks)``) while a D3-style cycling coprime stride spreads
+  the intra-rack picks, so rebuild reads decluster across disks *and*
+  rack uplinks at once.  Requires a :class:`~repro.topology.Topology`.
+
+A placement may carry a topology mapping (:meth:`PlacementMap.attach_topology`:
+pool disk -> tree leaf), which is what lets the pool rebuild bill element
+reads up the tree and the topology-aware planner pick schemes per rack
+signature.
 
 Every strategy materialises a ``(n_stripes, w)`` table of pool-disk ids
 (position = *slot*), validated to hold ``w`` distinct disks per stripe.
@@ -89,6 +99,10 @@ class PlacementMap:
             if group_starts is None
             else np.ascontiguousarray(group_starts, dtype=np.int64)
         )
+        #: optional datacenter tree + pool-disk -> tree-leaf map, set by
+        #: :meth:`attach_topology`
+        self.topology = None
+        self.leaf_of_disk: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -139,16 +153,63 @@ class PlacementMap:
         return np.bincount(self.table.reshape(-1), minlength=self.n_pool)
 
     # ------------------------------------------------------------------
+    # topology integration
+    # ------------------------------------------------------------------
+    def attach_topology(
+        self, topology, leaf_of_disk: Optional[np.ndarray] = None
+    ) -> "PlacementMap":
+        """Map the pool's disks onto a datacenter topology tree.
+
+        ``leaf_of_disk[d]`` is the tree leaf (topology disk id) hosting
+        pool disk ``d``; the default identity map requires the tree to
+        have exactly ``n_pool`` leaves.  Returns ``self`` for chaining.
+        """
+        if leaf_of_disk is None:
+            if topology.n_disks != self.n_pool:
+                raise ValueError(
+                    f"topology has {topology.n_disks} leaves but the pool "
+                    f"has {self.n_pool} disks (pass leaf_of_disk)"
+                )
+            leaf_of_disk = np.arange(self.n_pool, dtype=np.int64)
+        else:
+            leaf_of_disk = np.ascontiguousarray(leaf_of_disk, dtype=np.int64)
+            if leaf_of_disk.shape != (self.n_pool,):
+                raise ValueError(
+                    f"leaf_of_disk must have shape ({self.n_pool},), got "
+                    f"{leaf_of_disk.shape}"
+                )
+            if leaf_of_disk.min() < 0 or leaf_of_disk.max() >= topology.n_disks:
+                raise ValueError("leaf_of_disk references leaves outside the tree")
+            if len(np.unique(leaf_of_disk)) != self.n_pool:
+                raise ValueError("leaf_of_disk maps two pool disks to one leaf")
+        self.topology = topology
+        self.leaf_of_disk = leaf_of_disk
+        return self
+
+    def require_leaf_of_disk(self, topology=None) -> np.ndarray:
+        """The pool-disk -> leaf map; raises when no topology is attached."""
+        if self.topology is None or self.leaf_of_disk is None:
+            raise ValueError(
+                "placement has no topology attached (call attach_topology)"
+            )
+        if topology is not None and topology is not self.topology:
+            raise ValueError("placement is attached to a different topology")
+        return self.leaf_of_disk
+
+    # ------------------------------------------------------------------
     # serving integration
     # ------------------------------------------------------------------
     def shard_bounds(self, n_shards: int) -> np.ndarray:
         """Stripe-range shard bounds aligned to placement-group starts.
 
         A shard never splits a placement group: each even-split boundary
-        is snapped to the nearest group start.  Strategies without fixed
-        groups (``group_starts is None``) return the plain even split.
-        Bounds are monotone; with more shards than groups the trailing
-        shards come out empty — the serving layer tolerates that.
+        is snapped to the *nearer* of the surrounding group starts (ties
+        snap up), so a boundary just past a group start no longer drags
+        almost a whole extra group into the preceding shard.  Strategies
+        without fixed groups (``group_starts is None``) return the plain
+        even split.  Bounds are monotone; with more shards than groups
+        the trailing shards come out empty — the serving layer tolerates
+        that.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -159,9 +220,10 @@ class PlacementMap:
         if self.group_starts is None:
             return targets
         allowed = np.unique(np.append(self.group_starts, n))
-        snapped = allowed[
-            np.clip(np.searchsorted(allowed, targets), 0, len(allowed) - 1)
-        ]
+        up = np.clip(np.searchsorted(allowed, targets), 0, len(allowed) - 1)
+        down = np.maximum(up - 1, 0)
+        nearer_down = (targets - allowed[down]) < (allowed[up] - targets)
+        snapped = allowed[np.where(nearer_down, down, up)]
         snapped[0], snapped[-1] = 0, n
         return np.maximum.accumulate(snapped)
 
@@ -284,6 +346,55 @@ def RandomPlacement(
     return PlacementMap(n_pool, table, "random")
 
 
+def RackAwarePlacement(
+    n_pool: int, n_stripes: int, width: int, topology
+) -> PlacementMap:
+    """Rack-diverse declustering over a datacenter topology.
+
+    Slot ``j`` of stripe ``s`` lands in rack ``(s + j) mod R``, so the
+    stripe's roles spread over ``min(w, R)`` racks and no rack hosts more
+    than ``ceil(w / R)`` of them — the co-location cap that keeps any one
+    top-of-rack uplink out of the rebuild's critical path.  Within the
+    rack, the pick walks ``s // R`` offset plus a D3-style cycling
+    coprime stride, *plus* a per-(epoch, rack) offset ``e * rack`` that
+    decorrelates the host sets of a disk's affected stripes across
+    epochs — without it the dead-disk membership constraint pins every
+    other slot's host to one disk per stripe-residue, and the rebuild's
+    per-disk spread collapses to the flat case.  All offsets are common
+    within a rack, so intra-stripe distinctness (the coprime-stride
+    argument) is untouched.  The topology is attached to the returned
+    map.
+    """
+    _check_geometry(n_pool, n_stripes, width)
+    if topology is None:
+        raise ValueError("rack_aware placement requires a topology")
+    if topology.n_disks != n_pool:
+        raise ValueError(
+            f"topology has {topology.n_disks} disks but the pool has {n_pool}"
+        )
+    n_racks, dpr = topology.n_racks, topology.disks_per_rack
+    per_rack = -(-width // n_racks)  # ceil: max co-located roles per rack
+    if per_rack > dpr:
+        raise ValueError(
+            f"width {width} needs {per_rack} disks in one of {n_racks} "
+            f"racks but each rack has only {dpr}"
+        )
+    units = np.asarray(
+        [u for u in range(1, dpr) if math.gcd(u, dpr) == 1], dtype=np.int64
+    )
+    if not len(units):
+        units = np.asarray([1], dtype=np.int64)
+    s = np.arange(n_stripes, dtype=np.int64)[:, None]
+    j = np.arange(width, dtype=np.int64)[None, :]
+    epoch = s // (n_racks * dpr)
+    sigma = units[epoch % len(units)]
+    rack = (s + j) % n_racks
+    within = (s // n_racks + (j // n_racks) * sigma + epoch * rack) % dpr
+    table = rack * dpr + within
+    pm = PlacementMap(n_pool, table, "rack_aware")
+    return pm.attach_topology(topology)
+
+
 _STRATEGIES: Dict[str, Callable[..., PlacementMap]] = {
     "flat": FlatPlacement,
     "declustered": DeclusteredPlacement,
@@ -291,25 +402,60 @@ _STRATEGIES: Dict[str, Callable[..., PlacementMap]] = {
     "random": RandomPlacement,
 }
 
+#: strategies that need a datacenter topology to lay stripes out
+_TOPO_STRATEGIES: Dict[str, Callable[..., PlacementMap]] = {
+    "rack_aware": RackAwarePlacement,
+}
 
-def list_placements() -> List[str]:
-    """Registered placement strategy names."""
-    return sorted(_STRATEGIES)
+
+def list_placements(include_topology: bool = False) -> List[str]:
+    """Registered placement strategy names.
+
+    ``include_topology=True`` adds the strategies that require a
+    :class:`~repro.topology.Topology` (e.g. ``rack_aware``).
+    """
+    names = sorted(_STRATEGIES)
+    if include_topology:
+        names = sorted({*names, *_TOPO_STRATEGIES})
+    return names
 
 
 def make_placement(
-    name: str, n_pool: int, n_stripes: int, width: int, seed: int = 0
+    name: str,
+    n_pool: int,
+    n_stripes: int,
+    width: int,
+    seed: int = 0,
+    topology=None,
 ) -> PlacementMap:
-    """Build a placement by strategy name (see :func:`list_placements`)."""
+    """Build a placement by strategy name (see :func:`list_placements`).
+
+    With ``topology`` given, the tree is attached to the returned map
+    (identity leaf mapping), enabling per-link billing; topology-aware
+    strategies (``rack_aware``) additionally require it to lay out.
+    """
+    if name in _TOPO_STRATEGIES:
+        if topology is None:
+            raise ValueError(
+                f"placement {name!r} requires a topology "
+                "(pass topology=Topology(...))"
+            )
+        return _TOPO_STRATEGIES[name](n_pool, n_stripes, width, topology)
     try:
         factory = _STRATEGIES[name]
     except KeyError:
         raise ValueError(
-            f"unknown placement {name!r} (choose from {list_placements()})"
+            f"unknown placement {name!r} "
+            f"(choose from {list_placements(include_topology=True)})"
         ) from None
-    if name == "random":
-        return factory(n_pool, n_stripes, width, seed=seed)
-    return factory(n_pool, n_stripes, width)
+    pm = (
+        factory(n_pool, n_stripes, width, seed=seed)
+        if name == "random"
+        else factory(n_pool, n_stripes, width)
+    )
+    if topology is not None:
+        pm.attach_topology(topology)
+    return pm
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,227 @@
+"""Event-driven transfer simulator: rebuild makespan under link contention.
+
+Analytic per-link load maxima say which link is *loaded*; what a rebuild
+actually costs is the time until the last byte lands, with every flow
+sharing the tree's links with every other flow.  This module prices that
+with the classic fluid model: flows get their **max-min fair share** of
+every link on their path (progressive filling), the earliest-finishing
+flows complete as one event, rates are refilled, and the clock advances
+— an event-driven simulation whose makespan reflects contention, not
+just the per-link byte totals.
+
+Rebuild traffic model (``rebuild_flows``): reconstruction destinations
+are declustered round-robin across the racks — spare space is spread
+pool-wide, exactly like the stripes themselves — so each source disk's
+read bytes split evenly across the ``R`` racks.  A transfer crosses its
+source disk's link and its machine's NIC always, and the source-rack
+uplink plus destination-rack downlink only when source and destination
+racks differ.  The fabric core is full-bisection (a Clos), so the
+scarce shared resources are exactly the tree links the planner's
+lexicographic objective counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.tree import Topology
+
+
+@dataclass
+class FlowSimResult:
+    """Outcome of one fluid max-min simulation."""
+
+    makespan_s: float
+    n_flows: int
+    n_events: int
+    bottleneck: str                #: label of the link busy the longest
+    link_busy_s: Dict[str, float]  #: per-link time-to-drain (bytes / bw)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "makespan_s": self.makespan_s,
+            "n_flows": self.n_flows,
+            "n_events": self.n_events,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def simulate_flows(
+    sizes_mb: Sequence[float],
+    paths: Sequence[Tuple[int, ...]],
+    caps_mb_s: Sequence[float],
+    link_labels: Sequence[str],
+) -> FlowSimResult:
+    """Run the fluid max-min simulation to completion.
+
+    Parameters
+    ----------
+    sizes_mb:
+        Bytes (in MB) each flow must move; zero-size flows are dropped.
+    paths:
+        Per-flow tuples of link ids (indices into ``caps_mb_s``).
+    caps_mb_s:
+        Capacity of each link in MB/s (must be positive).
+    link_labels:
+        Human-readable name per link (for the bottleneck report).
+    """
+    sizes = np.asarray(sizes_mb, dtype=np.float64)
+    caps = np.asarray(caps_mb_s, dtype=np.float64)
+    if len(paths) != len(sizes):
+        raise ValueError(f"{len(sizes)} sizes but {len(paths)} paths")
+    if len(link_labels) != len(caps):
+        raise ValueError(f"{len(caps)} caps but {len(link_labels)} labels")
+    if caps.size and caps.min() <= 0:
+        raise ValueError("every link capacity must be > 0")
+    keep = sizes > 0
+    sizes = sizes[keep].copy()
+    paths = [p for p, k in zip(paths, keep) if k]
+    n_flows, n_links = len(sizes), len(caps)
+
+    # per-link byte totals: the lower bound any schedule must respect
+    link_bytes = np.zeros(n_links, dtype=np.float64)
+    flow_ids: List[int] = []
+    link_ids: List[int] = []
+    for f, path in enumerate(paths):
+        for link in path:
+            link_bytes[link] += sizes[f]
+            flow_ids.append(f)
+            link_ids.append(link)
+    link_busy = {
+        link_labels[i]: float(link_bytes[i] / caps[i]) for i in range(n_links)
+    }
+    if not n_flows:
+        return FlowSimResult(0.0, 0, 0, "idle", link_busy)
+    fl = np.asarray(flow_ids, dtype=np.int64)
+    ln = np.asarray(link_ids, dtype=np.int64)
+
+    remaining = sizes
+    active = np.ones(n_flows, dtype=bool)
+    t = 0.0
+    events = 0
+    while active.any():
+        # progressive filling: fix the bottleneck link's flows at its fair
+        # share, remove them and their bandwidth, repeat
+        rates = np.zeros(n_flows, dtype=np.float64)
+        unfixed = active.copy()
+        cap_left = caps.copy()
+        while unfixed.any():
+            edge_live = unfixed[fl]
+            users = np.bincount(ln[edge_live], minlength=n_links).astype(
+                np.float64
+            )
+            share = np.where(users > 0, cap_left / np.maximum(users, 1),
+                             np.inf)
+            b = int(np.argmin(share))
+            if not np.isfinite(share[b]):
+                break  # remaining flows traverse no link: unconstrained
+            fair = share[b]
+            on_b = np.zeros(n_flows, dtype=bool)
+            sel = edge_live & (ln == b)
+            on_b[fl[sel]] = True
+            newly = on_b & unfixed
+            rates[newly] = fair
+            # retire the fixed flows' bandwidth from every link they cross
+            fixed_edge = newly[fl]
+            cap_left -= np.bincount(
+                ln[fixed_edge], weights=rates[fl[fixed_edge]],
+                minlength=n_links,
+            )
+            cap_left = np.maximum(cap_left, 0.0)
+            unfixed &= ~newly
+        if unfixed.any():
+            # pathological zero-link flows finish instantly
+            remaining[unfixed] = 0.0
+            active &= ~unfixed
+            events += 1
+            continue
+        live = np.flatnonzero(active)
+        dt = float(np.min(remaining[live] / rates[live]))
+        remaining[live] -= rates[live] * dt
+        t += dt
+        done = live[remaining[live] <= 1e-9]
+        active[done] = False
+        events += 1
+    bottleneck = max(link_busy, key=link_busy.get) if link_busy else "idle"
+    return FlowSimResult(
+        makespan_s=t,
+        n_flows=n_flows,
+        n_events=events,
+        bottleneck=bottleneck,
+        link_busy_s=link_busy,
+    )
+
+
+def rebuild_flows(
+    topology: Topology,
+    per_disk_loads: np.ndarray,
+    element_size: int,
+) -> Tuple[List[float], List[Tuple[int, ...]], List[float], List[str]]:
+    """Build the flow set for a rebuild's read traffic.
+
+    One flow per (source disk, destination rack): each source disk's
+    billed element reads split evenly over the racks (declustered spare
+    space).  Returns ``(sizes_mb, paths, caps, labels)`` ready for
+    :func:`simulate_flows`.
+    """
+    loads = np.asarray(per_disk_loads, dtype=np.float64)
+    if loads.shape != (topology.n_disks,):
+        raise ValueError(
+            f"per-disk loads shape {loads.shape} != ({topology.n_disks},)"
+        )
+    n_r = topology.n_racks
+    # link table: disks, machine NICs (out), rack uplinks (out), rack
+    # downlinks (in) — full duplex, one capacity each
+    caps: List[float] = []
+    labels: List[str] = []
+    disk_link = {}
+    for d in np.flatnonzero(loads > 0):
+        disk_link[int(d)] = len(caps)
+        caps.append(topology.disk_bw)
+        labels.append(f"disk:{int(d)}")
+    nic_link = {}
+    for m in np.unique(topology.machine_of_disk[loads > 0]):
+        nic_link[int(m)] = len(caps)
+        caps.append(topology.nic_bw)
+        labels.append(f"nic:{int(m)}")
+    up_link = [0] * n_r
+    down_link = [0] * n_r
+    for r in range(n_r):
+        up_link[r] = len(caps)
+        caps.append(topology.rack_bw)
+        labels.append(f"uplink:{r}")
+    for r in range(n_r):
+        down_link[r] = len(caps)
+        caps.append(topology.rack_bw)
+        labels.append(f"downlink:{r}")
+
+    mb_per_element = element_size / 2**20
+    sizes: List[float] = []
+    paths: List[Tuple[int, ...]] = []
+    for d in np.flatnonzero(loads > 0):
+        d = int(d)
+        src_m = int(topology.machine_of_disk[d])
+        src_r = int(topology.rack_of_disk[d])
+        per_rack_mb = loads[d] * mb_per_element / n_r
+        for dest_r in range(n_r):
+            path = [disk_link[d], nic_link[src_m]]
+            if dest_r != src_r:
+                path += [up_link[src_r], down_link[dest_r]]
+            sizes.append(per_rack_mb)
+            paths.append(tuple(path))
+    return sizes, paths, caps, labels
+
+
+def rebuild_makespan(
+    topology: Topology,
+    per_disk_loads: np.ndarray,
+    element_size: int,
+) -> FlowSimResult:
+    """Simulated time to drain a rebuild's read traffic through the tree."""
+    sizes, paths, caps, labels = rebuild_flows(
+        topology, per_disk_loads, element_size
+    )
+    return simulate_flows(sizes, paths, caps, labels)

@@ -1,0 +1,132 @@
+"""Datacenter topology tree: disks -> machines -> racks -> core.
+
+The paper's cost model counts element reads per *disk*; at fleet scale
+the reads also transit shared links — the machine's NIC and the rack's
+top-of-rack uplink — and Rashmi et al.'s warehouse study (PAPERS.md)
+shows the cross-rack hop, not the disks, bounds recovery time.
+:class:`Topology` is the minimal tree the rest of the stack needs: a
+regular racks x machines x disks hierarchy with a bandwidth per link
+level, flat numpy index arrays for O(1) leaf -> parent lookups, and a
+``"RxMxD"`` spec parser for the CLI.
+
+Bandwidths are in MB/s and deliberately per *level*, not per individual
+link: the planner's lexicographic objective and the transfer simulator
+both only need the relative scarcity of the levels (a 30-disk rack can
+source 30 x ``disk_bw`` but its uplink carries ``rack_bw``), and a
+regular fabric is what the benchmarks model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Topology:
+    """A regular racks -> machines -> disks tree with per-level bandwidth.
+
+    Parameters
+    ----------
+    racks / machines_per_rack / disks_per_machine:
+        Tree shape; leaves (disks) are numbered rack-major, machine-minor:
+        disk ``d`` sits on machine ``d // disks_per_machine`` in rack
+        ``d // (machines_per_rack * disks_per_machine)``.
+    disk_bw / nic_bw / rack_bw:
+        Bandwidth of one disk link, one machine NIC, and one rack uplink,
+        in MB/s.
+    """
+
+    def __init__(
+        self,
+        racks: int,
+        machines_per_rack: int,
+        disks_per_machine: int,
+        disk_bw: float = 200.0,
+        nic_bw: float = 1200.0,
+        rack_bw: float = 2400.0,
+    ) -> None:
+        if racks < 1 or machines_per_rack < 1 or disks_per_machine < 1:
+            raise ValueError(
+                f"topology shape must be positive, got "
+                f"{racks}x{machines_per_rack}x{disks_per_machine}"
+            )
+        for name, bw in (("disk_bw", disk_bw), ("nic_bw", nic_bw),
+                         ("rack_bw", rack_bw)):
+            if bw <= 0:
+                raise ValueError(f"{name} must be > 0, got {bw}")
+        self.racks = racks
+        self.machines_per_rack = machines_per_rack
+        self.disks_per_machine = disks_per_machine
+        self.disk_bw = float(disk_bw)
+        self.nic_bw = float(nic_bw)
+        self.rack_bw = float(rack_bw)
+        machines = racks * machines_per_rack
+        disks = machines * disks_per_machine
+        self.machine_of_disk = np.arange(disks, dtype=np.int64) // disks_per_machine
+        self.rack_of_machine = np.arange(machines, dtype=np.int64) // machines_per_rack
+        self.rack_of_disk = self.rack_of_machine[self.machine_of_disk]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_disks(self) -> int:
+        return len(self.machine_of_disk)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.rack_of_machine)
+
+    @property
+    def n_racks(self) -> int:
+        return self.racks
+
+    @property
+    def disks_per_rack(self) -> int:
+        return self.machines_per_rack * self.disks_per_machine
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        disk_bw: float = 200.0,
+        nic_bw: float = 1200.0,
+        rack_bw: float = 2400.0,
+    ) -> "Topology":
+        """Build a topology from an ``"RxMxD"`` spec, e.g. ``"4x2x15"``."""
+        parts = spec.lower().split("x")
+        if len(parts) != 3:
+            raise ValueError(
+                f"topology spec must be RACKSxMACHINESxDISKS, got {spec!r}"
+            )
+        try:
+            racks, machines, disks = (int(p) for p in parts)
+        except ValueError:
+            raise ValueError(
+                f"topology spec must be three integers, got {spec!r}"
+            ) from None
+        return cls(racks, machines, disks, disk_bw=disk_bw, nic_bw=nic_bw,
+                   rack_bw=rack_bw)
+
+    def describe(self) -> str:
+        return (
+            f"topology {self.racks}x{self.machines_per_rack}"
+            f"x{self.disks_per_machine} ({self.n_disks} disks; "
+            f"disk {self.disk_bw:.0f} / nic {self.nic_bw:.0f} / "
+            f"rack {self.rack_bw:.0f} MB/s)"
+        )
+
+    def spec(self) -> str:
+        return (
+            f"{self.racks}x{self.machines_per_rack}x{self.disks_per_machine}"
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "racks": self.racks,
+            "machines_per_rack": self.machines_per_rack,
+            "disks_per_machine": self.disks_per_machine,
+            "disk_bw": self.disk_bw,
+            "nic_bw": self.nic_bw,
+            "rack_bw": self.rack_bw,
+        }

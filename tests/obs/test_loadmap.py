@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import DiskLoadMap, Recorder
 
@@ -64,3 +66,145 @@ class TestPublish:
         m = DiskLoadMap(3)
         m.add(0)
         m.publish("pool.rebuild")  # no process recorder enabled: must not raise
+
+
+class TestValidation:
+    """Regression tests for the billing-path input bugs (PR 8)."""
+
+    def test_add_many_empty_is_noop(self):
+        # regression: np.asarray([]) is float64 and bincount raised TypeError
+        m = DiskLoadMap(5)
+        m.add_many([], 3)
+        m.add_many(np.asarray([], dtype=np.int64))
+        assert m.total == 0
+
+    def test_add_many_accepts_lists_and_int32(self):
+        m = DiskLoadMap(5)
+        m.add_many([1, 1, 4], 2)
+        m.add_many(np.asarray([0], dtype=np.int32))
+        assert list(m.reads) == [1, 4, 0, 0, 2]
+
+    def test_add_many_out_of_range_named(self):
+        m = DiskLoadMap(5)
+        with pytest.raises(IndexError, match=r"pool disk 7"):
+            m.add_many([0, 7])
+        with pytest.raises(IndexError, match=r"pool disk -2"):
+            m.add_many([-2])
+        assert m.total == 0  # failed adds must not partially bill
+
+    def test_add_vector_integral_floats_fold_in(self):
+        # regression: float64 vectors raised UFuncTypeError on +=
+        m = DiskLoadMap(4)
+        m.add_vector(np.asarray([1.0, 0.0, 2.0, 0.0]))
+        assert list(m.reads) == [1, 0, 2, 0]
+        assert m.reads.dtype == np.int64
+
+    def test_add_vector_non_integral_rejected(self):
+        m = DiskLoadMap(4)
+        with pytest.raises(ValueError, match="non-integral"):
+            m.add_vector(np.asarray([0.5, 0.0, 0.0, 0.0]))
+
+    def test_add_vector_negative_rejected(self):
+        m = DiskLoadMap(4)
+        with pytest.raises(ValueError, match="negative"):
+            m.add_vector(np.asarray([0, -1, 0, 0]))
+
+    def test_add_negative_disk_rejected(self):
+        # regression: add(-1, n) silently billed the last disk
+        m = DiskLoadMap(4)
+        with pytest.raises(IndexError, match=r"pool disk -1"):
+            m.add(-1, 5)
+        with pytest.raises(IndexError, match=r"pool disk 4"):
+            m.add(4)
+        assert m.total == 0
+
+
+class _FakeTopo:
+    """Minimal duck-typed topology: 8 disks, 4 machines, 2 racks."""
+
+    n_disks, n_machines, n_racks = 8, 4, 2
+
+    def __init__(self):
+        self.machine_of_disk = np.arange(8) // 2
+        self.rack_of_machine = np.arange(4) // 2
+
+
+class TestLinkLoadMap:
+    def test_add_bills_all_levels(self):
+        from repro.obs import LinkLoadMap
+
+        lm = LinkLoadMap(_FakeTopo())
+        lm.add(0, 3)
+        lm.add_many([5, 5, 7], 2)
+        assert lm.total == 3 + 6
+        assert lm.disk_reads[0] == 3 and lm.disk_reads[5] == 4
+        assert lm.machine_reads[0] == 3 and lm.machine_reads[2] == 4
+        assert list(lm.rack_reads) == [3, 6]
+        lm.check_rollup()
+
+    def test_add_vector_and_rollup(self):
+        from repro.obs import LinkLoadMap
+
+        lm = LinkLoadMap(_FakeTopo())
+        lm.add_vector(np.asarray([1.0, 2, 3, 4, 5, 6, 7, 8]))
+        assert lm.total == 36
+        assert lm.max_per_disk == 8
+        assert lm.max_per_machine == 15
+        assert lm.max_per_rack == 26
+        lm.check_rollup()
+
+    def test_same_validation_as_disk_map(self):
+        from repro.obs import LinkLoadMap
+
+        lm = LinkLoadMap(_FakeTopo())
+        lm.add_many([], 9)
+        assert lm.total == 0
+        with pytest.raises(IndexError, match="pool disk -1"):
+            lm.add(-1)
+        with pytest.raises(IndexError, match="pool disk 8"):
+            lm.add_many([8])
+        with pytest.raises(ValueError, match="non-integral"):
+            lm.add_vector(np.full(8, 0.25))
+
+    def test_publish(self):
+        from repro.obs import LinkLoadMap
+
+        lm = LinkLoadMap(_FakeTopo())
+        lm.add_many([0, 1, 2, 3], 2)
+        rec = Recorder("t")
+        lm.publish("topo.rebuild", rec=rec)
+        snap = rec.snapshot()
+        assert snap["counters"]["topo.rebuild.reads"] == 8
+        assert snap["gauges"]["topo.rebuild.max_per_rack"]["value"] == 8
+
+
+class TestPropertyInvariants:
+    """Hypothesis invariants shared by both load maps."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), max_size=60),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_and_spread(self, disks, load):
+        m = DiskLoadMap(8)
+        m.add_many(disks, load)
+        assert m.total == m.reads.sum() == len(disks) * load
+        assert m.max_per_disk == m.reads.max(initial=0)
+        if m.busy_disks:
+            assert m.spread >= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), max_size=60),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linkmap_rollup_consistent(self, disks, load):
+        from repro.obs import LinkLoadMap
+
+        lm = LinkLoadMap(_FakeTopo())
+        lm.add_many(disks, load)
+        lm.check_rollup()
+        assert lm.total == len(disks) * load
+        assert lm.max_per_rack >= lm.max_per_machine >= 0
+        assert lm.rack_reads.sum() == lm.disk_reads.sum()

@@ -1,0 +1,124 @@
+"""Rack-aware placement + topology attachment + shard_bounds snapping."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    PlacementMap,
+    RackAwarePlacement,
+    list_placements,
+    make_placement,
+)
+from repro.topology import Topology
+
+
+class TestRackAware:
+    def setup_method(self):
+        self.topo = Topology.parse("6x2x10")  # 120 disks, 20 per rack
+
+    def test_registry_is_opt_in(self):
+        assert "rack_aware" not in list_placements()
+        assert "rack_aware" in list_placements(include_topology=True)
+
+    def test_requires_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            make_placement("rack_aware", 120, 100, 8)
+        with pytest.raises(ValueError, match="topology"):
+            RackAwarePlacement(120, 100, 8, topology=None)
+
+    def test_pool_size_must_match_tree(self):
+        with pytest.raises(ValueError, match="120"):
+            RackAwarePlacement(60, 100, 8, topology=self.topo)
+
+    def test_full_width_stripe_fills_every_rack_slot(self):
+        # boundary: width == pool size => every rack hosts exactly
+        # ceil(w / R) == disks_per_rack roles
+        tiny = Topology.parse("2x1x2")  # 4 disks, 2 per rack
+        pm = RackAwarePlacement(4, 20, 4, topology=tiny)
+        for s in range(20):
+            assert set(pm.table[s].tolist()) == {0, 1, 2, 3}
+
+    def test_attaches_topology(self):
+        pm = make_placement("rack_aware", 120, 200, 8, topology=self.topo)
+        assert pm.topology is self.topo
+        assert np.array_equal(pm.leaf_of_disk, np.arange(120))
+
+    def test_stripe_disks_distinct(self):
+        pm = RackAwarePlacement(120, 500, 8, topology=self.topo)
+        for s in range(0, 500, 37):
+            assert len(set(pm.table[s].tolist())) == 8
+
+    def test_per_rack_colocation_cap(self):
+        pm = RackAwarePlacement(120, 500, 8, topology=self.topo)
+        cap = -(-8 // self.topo.n_racks)  # ceil(w / R)
+        rack = self.topo.rack_of_disk[pm.table]
+        for s in range(500):
+            counts = np.bincount(rack[s], minlength=self.topo.n_racks)
+            assert counts.max() <= cap
+
+    def test_rebuild_sources_spread_across_epochs(self):
+        """The per-(epoch, rack) offset decorrelates co-host sets: a dead
+        disk's rebuild sources must span far more disks than one stripe's
+        width (the regression where every affected stripe shared hosts)."""
+        pm = RackAwarePlacement(120, 2400, 8, topology=self.topo)
+        stripes, _ = pm.roles_of_disk(5)
+        hosts = set(pm.table[stripes].ravel().tolist()) - {5}
+        assert len(hosts) > 40
+
+    def test_plain_strategy_can_attach_topology(self):
+        pm = make_placement("declustered", 120, 100, 8, topology=self.topo)
+        assert pm.topology is self.topo
+
+    def test_attach_validates_leaf_map(self):
+        pm = make_placement("declustered", 60, 100, 8)
+        with pytest.raises(ValueError):
+            pm.attach_topology(self.topo)  # 60 != 120 needs explicit map
+        leaf = np.arange(60) * 2
+        pm.attach_topology(self.topo, leaf_of_disk=leaf)
+        assert np.array_equal(pm.leaf_of_disk, leaf)
+        with pytest.raises(ValueError):
+            make_placement("declustered", 60, 100, 8).attach_topology(
+                self.topo, leaf_of_disk=np.zeros(60, dtype=np.int64)
+            )  # duplicate leaves
+
+    def test_require_leaf_of_disk(self):
+        pm = make_placement("declustered", 120, 100, 8)
+        with pytest.raises(ValueError, match="topology"):
+            pm.require_leaf_of_disk()
+        pm.attach_topology(self.topo)
+        other = Topology.parse("4x3x10")
+        with pytest.raises(ValueError):
+            pm.require_leaf_of_disk(other)
+
+
+class TestShardBoundsNearest:
+    def test_snaps_to_nearer_start_on_skewed_groups(self):
+        # regression: boundary target 50 used to snap UP to 100, leaving
+        # the second shard empty; 10 is 40 closer
+        table = np.zeros((100, 2), dtype=np.int64)
+        table[:, 1] = 1
+        pm = PlacementMap(
+            4, table, "t", group_starts=np.asarray([0, 10, 100])
+        )
+        bounds = pm.shard_bounds(2)
+        assert list(bounds) == [0, 10, 100]
+
+    def test_ties_snap_up(self):
+        table = np.zeros((40, 2), dtype=np.int64)
+        table[:, 1] = 1
+        pm = PlacementMap(
+            4, table, "t", group_starts=np.asarray([0, 10, 30, 40])
+        )
+        # target 20 is equidistant from 10 and 30 -> up wins
+        assert list(pm.shard_bounds(2)) == [0, 30, 40]
+
+    def test_still_monotone_and_covering(self):
+        table = np.zeros((100, 2), dtype=np.int64)
+        table[:, 1] = 1
+        pm = PlacementMap(
+            4, table, "t", group_starts=np.asarray([0, 3, 4, 98])
+        )
+        for n_shards in (1, 2, 3, 9):
+            b = pm.shard_bounds(n_shards)
+            assert b[0] == 0 and b[-1] == 100
+            assert np.all(np.diff(b) >= 0)

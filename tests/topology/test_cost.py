@@ -1,0 +1,116 @@
+"""TopologyCost: lexicographic key semantics + U-Algorithm degeneration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_code
+from repro.equations.enumerate import get_recovery_equations
+from repro.recovery.planner import RecoveryPlanner
+from repro.recovery.search import generate_scheme
+from repro.topology import TopologyCost, topology_cost
+
+
+def _unpack(key: int, bits: int):
+    """Invert TopologyCost.extend()'s packed key into its 4 fields."""
+    mask = (1 << bits) - 1
+    total = key & mask
+    mx_disk = (key >> bits) & mask
+    mx_nic = (key >> 2 * bits) & mask
+    mx_rack = (key >> 3 * bits) & mask
+    return mx_rack, mx_nic, mx_disk, total
+
+
+class TestKeySemantics:
+    def setup_method(self):
+        self.code = make_code("rdp", 6)
+        self.layout = self.code.layout
+
+    def test_label_length_validated(self):
+        n = self.layout.n_disks
+        with pytest.raises(ValueError):
+            TopologyCost(self.layout, [0] * (n - 1), [0] * n)
+
+    def test_key_counts_levels(self):
+        lay = self.layout
+        k = lay.k_rows
+        # disks {0,1} on machine 0 / rack 0, the rest isolated
+        machines = [0, 0] + list(range(1, lay.n_disks - 1))
+        racks = machines
+        cost = TopologyCost(lay, machines, racks)
+        # read 2 elements of disk 0, 1 of disk 1, 1 of disk 2
+        mask = (0b11 << (0 * k)) | (0b1 << (1 * k)) | (0b1 << (2 * k))
+        mx_rack, mx_nic, mx_disk, total = cost.key_of_mask(mask)
+        assert total == 4
+        assert mx_disk == 2          # disk 0
+        assert mx_nic == 3           # machine {0,1}
+        assert mx_rack == 3          # rack {0,1}
+
+    def test_all_isolated_collapses_to_max_load(self):
+        lay = self.layout
+        labels = list(range(lay.n_disks))
+        cost = TopologyCost(lay, labels, labels)
+        k = lay.k_rows
+        mask = (0b111 << (2 * k)) | (0b1 << (4 * k))
+        mx_rack, mx_nic, mx_disk, total = cost.key_of_mask(mask)
+        assert mx_rack == mx_nic == mx_disk == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_extend_matches_key_of_mask(self, element_ids):
+        """Incremental extend() folds to the same key as the full recount."""
+        lay = self.layout
+        machines = [d % 3 for d in range(lay.n_disks)]
+        racks = [d % 2 for d in range(lay.n_disks)]
+        cost = topology_cost(lay, machines, racks)
+        state, _ = cost.initial()
+        mask = 0
+        key = None
+        for e in element_ids:
+            eid = e % lay.n_elements
+            bit = 1 << eid
+            add = bit & ~mask
+            mask |= bit
+            state, key = cost.extend(state, add, mask)
+        assert _unpack(key, cost._bits) == cost.key_of_mask(mask)
+
+
+class TestDegeneration:
+    @pytest.mark.parametrize("family,n", [("rdp", 6), ("evenodd", 7)])
+    def test_isolated_disks_match_u_algorithm(self, family, n):
+        """One disk per machine per rack: topo search == scalar U search."""
+        code = make_code(family, n)
+        lay = code.layout
+        labels = np.arange(lay.n_disks)
+        base = RecoveryPlanner(code, algorithm="u", depth=1)
+        for role in range(lay.n_disks):
+            rec_eqs = get_recovery_equations(
+                code, lay.disk_mask(role), depth=1, ensure_complete=True
+            )
+            topo_scheme = generate_scheme(
+                rec_eqs,
+                TopologyCost(lay, labels, labels),
+                algorithm="topo",
+            )
+            u_scheme = base.scheme_for_disk(role)
+            assert max(topo_scheme.loads) == max(u_scheme.loads)
+
+    def test_one_rack_minimises_total(self):
+        """Everything behind one uplink: the rack term IS the total, so the
+        search must match the total-minimising Khan objective."""
+        code = make_code("rdp", 6)
+        lay = code.layout
+        ones = [0] * lay.n_disks
+        khan = RecoveryPlanner(code, algorithm="khan", depth=1)
+        for role in range(lay.n_disks):
+            rec_eqs = get_recovery_equations(
+                code, lay.disk_mask(role), depth=1, ensure_complete=True
+            )
+            topo_scheme = generate_scheme(
+                rec_eqs, TopologyCost(lay, ones, ones), algorithm="topo"
+            )
+            assert sum(topo_scheme.loads) == sum(
+                khan.scheme_for_disk(role).loads
+            )

@@ -1,0 +1,122 @@
+"""TopologyAwarePlanner: signatures, memoisation, analytic == executed."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.pipeline import PoolRebuild
+from repro.placement import PoolStore, make_placement
+from repro.topology import (
+    Topology,
+    TopologyAwarePlanner,
+    canonical_signature,
+    link_loads,
+)
+
+
+class TestCanonicalSignature:
+    def test_relabels_by_first_occurrence(self):
+        m_sig, r_sig = canonical_signature(
+            np.asarray([5, 5, 9, 5]), np.asarray([2, 7, 2, 2])
+        )
+        assert m_sig == (0, 0, 1, 0)
+        assert r_sig == (0, 1, 0, 0)
+
+    def test_invariant_under_label_permutation(self):
+        a = canonical_signature(np.asarray([3, 1, 3]), np.asarray([0, 0, 4]))
+        b = canonical_signature(np.asarray([7, 2, 7]), np.asarray([9, 9, 1]))
+        assert a == b
+
+
+def _pool(topo, placement_name, n_stripes=240, seed=3):
+    code = make_code("rdp", 8)
+    pm = make_placement(
+        placement_name, topo.n_disks, n_stripes, code.layout.n_disks,
+        seed=seed, topology=topo,
+    )
+    store = PoolStore(code, pm, element_size=8)
+    store.encode_random(np.random.default_rng(seed))
+    return code, store
+
+
+class TestPlanner:
+    def setup_method(self):
+        self.topo = Topology.parse("4x2x10")
+
+    def test_memoises_per_signature(self):
+        code, store = _pool(self.topo, "rack_aware")
+        planner = TopologyAwarePlanner(code, self.topo)
+        list(planner.stripe_groups(store.placement, dead_disk=2))
+        searches_first = planner.searches
+        assert searches_first > 0
+        # re-grouping hits the cache: no new searches
+        list(planner.stripe_groups(store.placement, dead_disk=2))
+        assert planner.searches == searches_first
+        assert planner.fallbacks == 0
+
+    def test_groups_partition_affected_stripes(self):
+        code, store = _pool(self.topo, "rack_aware")
+        planner = TopologyAwarePlanner(code, self.topo)
+        placement = store.placement
+        stripes, _ = placement.roles_of_disk(2)
+        grouped = np.concatenate(
+            [s for _, s, _ in planner.stripe_groups(placement, 2)]
+        )
+        assert np.array_equal(np.sort(grouped), np.sort(stripes))
+
+    def test_search_cap_falls_back_to_scalar(self):
+        code, store = _pool(self.topo, "rack_aware")
+        planner = TopologyAwarePlanner(code, self.topo, search_cap=0)
+        groups = list(planner.stripe_groups(store.placement, 2))
+        assert planner.searches == 0
+        assert planner.fallbacks == len(groups) or planner.fallbacks > 0
+        # fallback schemes are still valid recovery plans
+        for role, _, scheme in groups:
+            assert scheme.loads[role] == 0
+
+    def test_executed_billing_matches_analytic(self):
+        code, store = _pool(self.topo, "rack_aware")
+        planner = TopologyAwarePlanner(code, self.topo)
+        engine = PoolRebuild(store, topo_planner=planner)
+        res = engine.rebuild(2)
+        assert res.ok
+        assert np.array_equal(engine.read_loads(2), res.reads_per_disk)
+        analytic = engine.link_read_loads(2)
+        assert np.array_equal(analytic.disk_reads, res.link_loads.disk_reads)
+        assert np.array_equal(
+            analytic.machine_reads, res.link_loads.machine_reads
+        )
+        assert np.array_equal(analytic.rack_reads, res.link_loads.rack_reads)
+        res.link_loads.check_rollup()
+
+    def test_blind_rebuild_on_attached_topology_also_bills_links(self):
+        code, store = _pool(self.topo, "declustered")
+        engine = PoolRebuild(store)
+        res = engine.rebuild(2)
+        assert res.ok
+        assert res.link_loads is not None
+        assert res.link_loads.total == res.reads_per_disk.sum()
+        res.link_loads.check_rollup()
+
+    def test_aware_not_worse_on_max_uplink(self):
+        code, store = _pool(self.topo, "rack_aware", n_stripes=400)
+        planner = TopologyAwarePlanner(code, self.topo)
+        aware = PoolRebuild(store, topo_planner=planner).rebuild(2)
+        _, blind_store = _pool(self.topo, "declustered", n_stripes=400)
+        blind = PoolRebuild(blind_store).rebuild(2)
+        assert (
+            aware.link_loads.max_per_rack <= blind.link_loads.max_per_rack
+        )
+
+    def test_topology_mismatch_rejected(self):
+        code, store = _pool(self.topo, "rack_aware")
+        other = Topology.parse("2x2x20")
+        planner = TopologyAwarePlanner(code, other)
+        with pytest.raises(ValueError):
+            PoolRebuild(store, topo_planner=planner)
+
+    def test_link_loads_requires_topology(self):
+        code = make_code("rdp", 8)
+        pm = make_placement("declustered", 40, 100, code.layout.n_disks)
+        with pytest.raises(ValueError, match="topology"):
+            link_loads(pm, np.zeros(40, dtype=np.int64))

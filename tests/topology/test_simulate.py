@@ -1,0 +1,91 @@
+"""Max-min fair-share flow simulator: hand-computable cases."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    Topology,
+    rebuild_flows,
+    rebuild_makespan,
+    simulate_flows,
+)
+
+
+class TestSimulateFlows:
+    def test_single_flow_single_link(self):
+        res = simulate_flows([100.0], [(0,)], [100.0], ["l0"])
+        assert res.makespan_s == pytest.approx(1.0)
+        assert res.n_flows == 1
+        assert res.bottleneck == "l0"
+
+    def test_two_flows_share_fairly(self):
+        # 100 MB and 50 MB over one 100 MB/s link: 50/50 split until the
+        # small flow drains at t=1, then the big one gets the full link
+        # for its remaining 50 MB -> makespan 1.5 s in two events.
+        res = simulate_flows(
+            [100.0, 50.0], [(0,), (0,)], [100.0], ["l0"]
+        )
+        assert res.makespan_s == pytest.approx(1.5)
+        assert res.n_events == 2
+        assert res.link_busy_s["l0"] == pytest.approx(1.5)
+
+    def test_disjoint_links_run_concurrently(self):
+        res = simulate_flows(
+            [100.0, 30.0], [(0,), (1,)], [100.0, 10.0], ["a", "b"]
+        )
+        assert res.makespan_s == pytest.approx(3.0)
+        assert res.bottleneck == "b"
+
+    def test_two_hop_path_limited_by_slow_link(self):
+        res = simulate_flows([60.0], [(0, 1)], [100.0, 20.0], ["fast", "slow"])
+        assert res.makespan_s == pytest.approx(3.0)
+        assert res.bottleneck == "slow"
+
+    def test_zero_size_flows_dropped(self):
+        res = simulate_flows([0.0, 10.0], [(0,), (0,)], [10.0], ["l0"])
+        assert res.n_flows == 1
+        assert res.makespan_s == pytest.approx(1.0)
+
+    def test_empty_is_idle(self):
+        res = simulate_flows([], [], [10.0], ["l0"])
+        assert res.makespan_s == 0.0
+        assert res.bottleneck == "idle"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="paths"):
+            simulate_flows([1.0], [], [10.0], ["l0"])
+        with pytest.raises(ValueError, match="labels"):
+            simulate_flows([1.0], [(0,)], [10.0], [])
+        with pytest.raises(ValueError, match="> 0"):
+            simulate_flows([1.0], [(0,)], [0.0], ["l0"])
+
+
+class TestRebuildFlows:
+    def setup_method(self):
+        self.topo = Topology(
+            racks=2, machines_per_rack=1, disks_per_machine=2,
+            disk_bw=100.0, nic_bw=200.0, rack_bw=50.0,
+        )
+
+    def test_flow_split_and_paths(self):
+        loads = np.asarray([4, 0, 0, 0])  # only disk 0 (rack 0) reads
+        sizes, paths, caps, labels = rebuild_flows(
+            self.topo, loads, element_size=2**20
+        )
+        # one flow per destination rack, equal split
+        assert len(sizes) == self.topo.n_racks
+        assert sizes == pytest.approx([2.0, 2.0])
+        by_len = sorted(len(p) for p in paths)
+        assert by_len == [2, 4]  # rack-local: disk+nic; cross-rack: +up+down
+        assert "uplink:0" in labels and "downlink:1" in labels
+
+    def test_makespan_lower_bound_is_busiest_link(self):
+        loads = np.asarray([8, 8, 0, 0])  # both rack-0 disks busy
+        res = rebuild_makespan(self.topo, loads, element_size=2**20)
+        # 8 MB cross-rack through the 50 MB/s uplink from each disk
+        assert res.makespan_s >= res.link_busy_s["uplink:0"] > 0
+        assert res.makespan_s >= max(res.link_busy_s.values()) - 1e-9
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            rebuild_makespan(self.topo, np.zeros(3), element_size=16)

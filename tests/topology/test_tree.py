@@ -1,0 +1,58 @@
+"""Topology tree: spec parsing, level maps, validation."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Topology
+
+
+class TestShape:
+    def test_level_maps(self):
+        t = Topology(racks=2, machines_per_rack=2, disks_per_machine=2)
+        assert (t.n_racks, t.n_machines, t.n_disks) == (2, 4, 8)
+        assert t.disks_per_rack == 4
+        assert list(t.machine_of_disk) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert list(t.rack_of_machine) == [0, 0, 1, 1]
+        assert list(t.rack_of_disk) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_maps_compose(self):
+        t = Topology(racks=3, machines_per_rack=2, disks_per_machine=5)
+        assert np.array_equal(
+            t.rack_of_disk, t.rack_of_machine[t.machine_of_disk]
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Topology(racks=0, machines_per_rack=2, disks_per_machine=2)
+        with pytest.raises(ValueError):
+            Topology(racks=2, machines_per_rack=-1, disks_per_machine=2)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            Topology(2, 2, 2, disk_bw=0.0)
+        with pytest.raises(ValueError):
+            Topology(2, 2, 2, rack_bw=-5.0)
+
+
+class TestParse:
+    def test_parse_round_trip(self):
+        t = Topology.parse("6x2x10")
+        assert (t.racks, t.machines_per_rack, t.disks_per_machine) == (6, 2, 10)
+        assert t.spec() == "6x2x10"
+        assert t.n_disks == 120
+
+    def test_parse_bandwidth_kwargs(self):
+        t = Topology.parse("2x2x2", disk_bw=100.0, nic_bw=500.0, rack_bw=750.0)
+        assert (t.disk_bw, t.nic_bw, t.rack_bw) == (100.0, 500.0, 750.0)
+
+    @pytest.mark.parametrize("bad", ["6x2", "6x2x10x3", "ax2x3", "", "6x0x3"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            Topology.parse(bad)
+
+    def test_describe_and_dict(self):
+        t = Topology.parse("2x2x2")
+        assert "2x2x2" in t.describe()
+        d = t.to_dict()
+        assert d["racks"] == 2 and d["machines_per_rack"] == 2
+        assert Topology(**d).spec() == t.spec()
