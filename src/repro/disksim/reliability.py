@@ -20,6 +20,7 @@ the code tolerates.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -38,8 +39,6 @@ class ReliabilityResult:
 
     def nines(self) -> float:
         """Durability expressed as 'number of nines' of mission survival."""
-        import math
-
         p_loss = self.data_loss_probability
         if p_loss <= 0:
             return float("inf")
@@ -71,15 +70,19 @@ def simulate_reliability(
     code:
         Supplies the disk count and fault tolerance.
     recovery_hours:
-        Rebuild duration per failure (the knob the paper's algorithms turn).
+        Rebuild duration per failure (the knob the paper's algorithms
+        turn).  0 is allowed and means instant repair — the degenerate
+        no-vulnerability-window baseline.
     disk_mttf_hours:
         Mean time to failure of one disk (paper cites the classic
         1,000,000-hour spec [24]).
     mission_hours:
         Simulated lifetime per trial (default ten years).
     """
-    if recovery_hours < 0 or disk_mttf_hours <= 0 or mission_hours <= 0:
-        raise ValueError("durations must be positive")
+    if recovery_hours < 0:
+        raise ValueError("recovery_hours must be >= 0 (0 = instant repair)")
+    if disk_mttf_hours <= 0 or mission_hours <= 0:
+        raise ValueError("disk_mttf_hours and mission_hours must be positive")
     if trials < 1:
         raise ValueError("trials must be >= 1")
     n_disks = code.layout.n_disks
@@ -112,6 +115,10 @@ def simulate_reliability(
                 down += 1
                 if down > tolerance:
                     lost = True
+                    # the in-flight degraded interval ends at the loss
+                    # instant; dropping it understated degraded fractions
+                    # for every lost mission
+                    degraded_time += t - degraded_since
                     break
                 heapq.heappush(events, (t + recovery_hours, 1, disk))
             else:  # repair completes; disk fresh

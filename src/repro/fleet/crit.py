@@ -1,0 +1,99 @@
+"""Exact stripe-coverage loss test for a set of simultaneously-down disks.
+
+At fleet scale "more disks down than the code tolerates" is not a loss
+criterion — it matters *which* disks are down.  Under flat placement two
+failures in different RAID groups are harmless; under declustering almost
+any two disks share a stripe.  Data is lost exactly when some stripe has
+more than ``tolerance`` of its members down, and this module answers that
+question for an arbitrary down set through the placement table.
+
+The check is deliberately exact rather than a co-placement-probability
+approximation: both fleet engines gate it behind the cheap necessary
+condition ``len(down) > tolerance`` (a stripe cannot exceed the tolerance
+with fewer disks down than that), so it only runs on the rare overlap
+events, and its verdicts are memoised per down-set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+import numpy as np
+
+from repro.placement import PlacementMap
+
+
+class StripeCriticality:
+    """Answers "does this down set lose data?" for one placement.
+
+    Parameters
+    ----------
+    placement:
+        The stripe -> disk table; a down set is critical when some stripe
+        has more than ``tolerance`` members in it.
+    tolerance:
+        The code's fault tolerance (``code.fault_tolerance``); 0 means
+        any down disk that hosts at least one stripe loses data.
+    """
+
+    def __init__(self, placement: PlacementMap, tolerance: int) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.placement = placement
+        self.tolerance = tolerance
+        self.n_disks = placement.n_pool
+        # disk -> stripe-id arrays, built lazily in one bulk argsort over
+        # the table (per-disk nonzero scans are quadratic-ish and show up
+        # in harsh fleet regimes); a fleet that never overlaps failures
+        # pays nothing
+        self._stripes_of: Optional[np.ndarray] = None
+        self._ptr: Optional[np.ndarray] = None
+        self._memo: Dict[FrozenSet[int], bool] = {}
+
+    def _build_inverse(self) -> None:
+        flat = self.placement.table.ravel()
+        order = np.argsort(flat, kind="stable")
+        self._stripes_of = (order // self.placement.width).astype(np.int64)
+        self._ptr = np.searchsorted(
+            flat[order], np.arange(self.n_disks + 1, dtype=flat.dtype)
+        )
+
+    def _stripes(self, disk: int) -> np.ndarray:
+        if self._stripes_of is None:
+            self._build_inverse()
+        return self._stripes_of[self._ptr[disk] : self._ptr[disk + 1]]
+
+    def max_overlap(self, down: Iterable[int]) -> int:
+        """Largest number of down disks co-located in any one stripe."""
+        parts = [self._stripes(int(d)) for d in set(down)]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return 0
+        if len(parts) == 1:
+            return 1
+        counts = np.bincount(np.concatenate(parts))
+        return int(counts.max())
+
+    def is_critical(self, down: Iterable[int]) -> bool:
+        """True when the down set exceeds the tolerance on some stripe."""
+        key = frozenset(int(d) for d in down)
+        if len(key) <= self.tolerance:
+            return False
+        hit = self._memo.get(key)
+        if hit is None:
+            if len(self._memo) >= 1 << 16:  # harsh-regime runaway guard
+                self._memo.clear()
+            hit = self.max_overlap(key) > self.tolerance
+            self._memo[key] = hit
+        return hit
+
+
+def make_criticality(
+    placement: Optional[PlacementMap], tolerance: int
+) -> Optional[StripeCriticality]:
+    """Criticality for a placed pool, or ``None`` for the single-array
+    semantics (every disk shares every stripe, so any ``tolerance + 1``
+    concurrent failures lose data)."""
+    if placement is None:
+        return None
+    return StripeCriticality(placement, tolerance)

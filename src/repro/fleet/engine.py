@@ -1,0 +1,164 @@
+"""Fleet simulation entry points: validate, dispatch, time, and report.
+
+``simulate_fleet`` runs one arm over explicit repair windows;
+``run_fleet`` is the end-to-end convenience that prices the windows
+through the recovery planner / placement / topology stack first.  Engine
+selection follows the repo-wide convention: the numpy core by default,
+the pure-Python reference under ``REPRO_PURE_PYTHON=1`` (or
+``engine="scalar"`` explicitly).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.codes.base import ErasureCode
+from repro.fleet.crit import StripeCriticality, make_criticality
+from repro.fleet.result import FleetResult
+from repro.fleet.scalar import run_trials_scalar
+from repro.fleet.vector import run_trials_vector
+from repro.fleet.windows import (
+    QosPolicy,
+    RepairWindows,
+    price_repair_windows,
+)
+from repro.placement import PlacementMap
+
+_ENGINES = ("vector", "scalar")
+
+
+def default_engine() -> str:
+    """``"scalar"`` under ``REPRO_PURE_PYTHON=1``, else ``"vector"``."""
+    if os.environ.get("REPRO_PURE_PYTHON") == "1":
+        return "scalar"
+    return "vector"
+
+
+def simulate_fleet(
+    windows: RepairWindows,
+    tolerance: int,
+    criticality: Optional[StripeCriticality] = None,
+    mission_hours: float = 10 * 24 * 365,
+    disk_mttf_hours: float = 1e6,
+    trials: int = 1000,
+    seed: int = 0,
+    engine: str = "auto",
+    label: str = "",
+) -> FleetResult:
+    """Monte-Carlo ``trials`` fleet missions over the given repair windows.
+
+    A window of 0 hours means instant repair (allowed); the mission and
+    MTTF must be strictly positive.  ``criticality=None`` uses
+    single-array semantics: any ``tolerance + 1`` concurrent failures
+    lose data regardless of which disks they hit.
+    """
+    if windows.n_disks < 1:
+        raise ValueError(f"need at least 1 disk, got {windows.n_disks}")
+    if np.any(windows.hours < 0):
+        raise ValueError("repair windows must be >= 0 (0 = instant repair)")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if disk_mttf_hours <= 0 or mission_hours <= 0:
+        raise ValueError(
+            "disk_mttf_hours and mission_hours must be positive, got "
+            f"{disk_mttf_hours} and {mission_hours}"
+        )
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if engine == "auto":
+        engine = default_engine()
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}, expected one of "
+                         f"{_ENGINES + ('auto',)}")
+    if criticality is not None and criticality.n_disks != windows.n_disks:
+        raise ValueError(
+            f"criticality covers {criticality.n_disks} disks but windows "
+            f"cover {windows.n_disks}"
+        )
+
+    run = run_trials_vector if engine == "vector" else run_trials_scalar
+    with obs.span(
+        "fleet.simulate",
+        engine=engine,
+        trials=trials,
+        n_disks=windows.n_disks,
+        label=label or windows.placement_name,
+    ):
+        t0 = time.perf_counter()
+        lost, _loss_time, failures, degraded, observed = run(
+            windows.hours,
+            tolerance,
+            criticality,
+            float(mission_hours),
+            float(disk_mttf_hours),
+            int(trials),
+            int(seed),
+        )
+        wall_s = time.perf_counter() - t0
+
+    result = FleetResult(
+        engine=engine,
+        label=label or f"{windows.placement_name}/{windows.algorithm}",
+        trials=int(trials),
+        n_disks=windows.n_disks,
+        mission_hours=float(mission_hours),
+        losses=int(lost.sum()),
+        failures_total=int(failures.sum()),
+        observed_hours=float(observed.sum()),
+        degraded_hours=float(degraded.sum()),
+        wall_s=wall_s,
+        windows_mean_hours=windows.mean_hours,
+        windows_max_hours=windows.max_hours,
+    )
+    obs.count("fleet.trials", trials)
+    obs.count("fleet.failures", result.failures_total)
+    obs.count("fleet.losses", result.losses)
+    obs.gauge("fleet.disk_years_per_s", result.disk_years_per_s)
+    return result
+
+
+def run_fleet(
+    code: ErasureCode,
+    placement: PlacementMap,
+    algorithm: str = "u",
+    depth: int = 1,
+    policy: QosPolicy = QosPolicy(),
+    element_size: int = 4096,
+    mission_hours: float = 10 * 24 * 365,
+    disk_mttf_hours: float = 1e6,
+    trials: int = 1000,
+    seed: int = 0,
+    engine: str = "auto",
+) -> FleetResult:
+    """Price repair windows through the real stack, then simulate.
+
+    The durability story end-to-end: the recovery scheme (naive vs the
+    paper's load-balanced U/C search) and the placement (flat vs
+    declustered, topology-attached or not) set the window lengths; the
+    Monte-Carlo prices what those windows are worth in nines.
+    """
+    windows = price_repair_windows(
+        code,
+        placement,
+        algorithm=algorithm,
+        depth=depth,
+        policy=policy,
+        element_size=element_size,
+    )
+    criticality = make_criticality(placement, code.fault_tolerance)
+    return simulate_fleet(
+        windows,
+        tolerance=code.fault_tolerance,
+        criticality=criticality,
+        mission_hours=mission_hours,
+        disk_mttf_hours=disk_mttf_hours,
+        trials=trials,
+        seed=seed,
+        engine=engine,
+        label=f"{code.name}/{placement.name}/{algorithm}",
+    )

@@ -1,0 +1,131 @@
+"""Fleet Monte-Carlo results: loss probability, MTTDL, durability nines.
+
+A fleet run observes ``losses`` data-loss events over ``trials``
+missions; the headline numbers all derive from that binomial sample, so
+the uncertainty story is a Wilson score interval (well-behaved at the
+rare-event end where losses are 0 or 1 — the classic Wald interval
+collapses to a zero-width lie there).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+def wilson_interval(k: int, n: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for ``k`` successes in ``n`` Bernoulli trials."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= k <= n:
+        raise ValueError(f"k must be in [0, {n}], got {k}")
+    p = k / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def _nines(p: float) -> float:
+    """Durability nines of a loss probability (0 loss -> inf nines)."""
+    if p <= 0.0:
+        return math.inf
+    return -math.log10(p)
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet Monte-Carlo arm.
+
+    ``observed_hours`` sums each trial's horizon (mission length, or the
+    loss time for lost missions), so ``mttdl_hours`` is the textbook
+    total-uptime-over-failures estimator.  ``degraded_hours`` sums, per
+    trial, the union of intervals during which at least one disk was
+    down; the mean fraction divides by the *full* mission length even
+    for lost trials, biasing the metric conservatively low rather than
+    rewarding early loss.
+    """
+
+    engine: str
+    label: str
+    trials: int
+    n_disks: int
+    mission_hours: float
+    losses: int
+    failures_total: int
+    observed_hours: float
+    degraded_hours: float
+    wall_s: float
+    windows_mean_hours: float
+    windows_max_hours: float
+
+    @property
+    def loss_probability(self) -> float:
+        return self.losses / self.trials
+
+    @property
+    def loss_ci(self) -> Tuple[float, float]:
+        return wilson_interval(self.losses, self.trials)
+
+    @property
+    def mean_failures_per_mission(self) -> float:
+        return self.failures_total / self.trials
+
+    @property
+    def mean_degraded_fraction(self) -> float:
+        return self.degraded_hours / (self.trials * self.mission_hours)
+
+    @property
+    def disk_years(self) -> float:
+        return self.observed_hours * self.n_disks / 8760.0
+
+    @property
+    def disk_years_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return math.inf
+        return self.disk_years / self.wall_s
+
+    @property
+    def mttdl_hours(self) -> float:
+        if self.losses == 0:
+            return math.inf
+        return self.observed_hours / self.losses
+
+    def nines(self) -> float:
+        return _nines(self.loss_probability)
+
+    def nines_ci(self) -> Tuple[float, float]:
+        """Nines of the CI bounds (upper loss bound -> lower nines bound)."""
+        lo, hi = self.loss_ci
+        return (_nines(hi), _nines(lo))
+
+    def ci_overlaps(self, other: "FleetResult") -> bool:
+        """True when the two 95% loss-probability intervals intersect."""
+        a_lo, a_hi = self.loss_ci
+        b_lo, b_hi = other.loss_ci
+        return a_lo <= b_hi and b_lo <= a_hi
+
+    def summary(self) -> Dict[str, object]:
+        lo, hi = self.loss_ci
+        return {
+            "engine": self.engine,
+            "label": self.label,
+            "trials": self.trials,
+            "n_disks": self.n_disks,
+            "mission_hours": self.mission_hours,
+            "losses": self.losses,
+            "loss_probability": self.loss_probability,
+            "loss_ci_low": lo,
+            "loss_ci_high": hi,
+            "nines": self.nines(),
+            "mttdl_hours": self.mttdl_hours,
+            "mean_failures_per_mission": self.mean_failures_per_mission,
+            "mean_degraded_fraction": self.mean_degraded_fraction,
+            "disk_years": self.disk_years,
+            "disk_years_per_s": self.disk_years_per_s,
+            "wall_s": self.wall_s,
+            "windows_mean_hours": self.windows_mean_hours,
+            "windows_max_hours": self.windows_max_hours,
+        }

@@ -1,0 +1,92 @@
+"""Counter-based random numbers for the fleet Monte-Carlo.
+
+The fleet engine exists in two implementations — a pure-Python
+event-driven reference (:mod:`repro.fleet.scalar`) and the batched numpy
+core (:mod:`repro.fleet.vector`) — and the whole verification story rests
+on them consuming *identical* randomness.  A stateful generator cannot
+deliver that: the two engines draw in different orders (per-event vs
+per-round), and the scalar engine stops drawing early when a mission is
+lost while the vectorized one keeps sampling the batch.
+
+So every draw is a pure function of its coordinates instead: the uniform
+for renewal ``k`` of disk ``d`` in trial ``i`` under master ``seed`` is a
+splitmix64-style hash of ``(seed, i, d, k)``, finalised by cascaded
+avalanche rounds (the ``fold_in`` construction).  Both engines evaluate
+the same function — the numpy path on uint64 arrays with wraparound
+semantics, the scalar path on masked Python ints — and produce bitwise
+identical doubles, so unused draws cannot desynchronise anything.
+
+Exponentials are inverted through ``log1p`` (``-mttf * log1p(-u)``),
+using :func:`numpy.log1p` on both paths so the libm used is the same.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U64_MASK = (1 << 64) - 1
+#: golden-ratio increment (splitmix64's gamma) used to seed the cascade
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: 2**-53: top 53 bits of the hash become a double in [0, 1)
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def _mix_scalar(z: int) -> int:
+    """One splitmix64 finalisation round on a masked Python int."""
+    z &= _U64_MASK
+    z = ((z ^ (z >> 30)) * _MIX1) & _U64_MASK
+    z = ((z ^ (z >> 27)) * _MIX2) & _U64_MASK
+    return z ^ (z >> 31)
+
+
+def uniform_scalar(seed: int, trial: int, disk: int, draw: int) -> float:
+    """The uniform in [0, 1) at coordinates ``(seed, trial, disk, draw)``."""
+    z = _mix_scalar((seed & _U64_MASK) + _GAMMA)
+    z = _mix_scalar(z ^ (trial & _U64_MASK))
+    z = _mix_scalar(z ^ (disk & _U64_MASK))
+    z = _mix_scalar(z ^ (draw & _U64_MASK))
+    return (z >> 11) * _INV_2_53
+
+
+def exponential_scalar(
+    mean: float, seed: int, trial: int, disk: int, draw: int
+) -> float:
+    """Exp(mean) deviate at the given coordinates (bitwise = vector path)."""
+    u = uniform_scalar(seed, trial, disk, draw)
+    return -mean * float(np.log1p(-u))
+
+
+def _mix_np(z: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finalisation (uint64 wraparound arithmetic)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+def uniform_np(
+    seed: int, trial: np.ndarray, disk: np.ndarray, draw: int
+) -> np.ndarray:
+    """Batched uniforms in [0, 1); bitwise equal to :func:`uniform_scalar`.
+
+    ``trial`` / ``disk`` are broadcast integer arrays; ``draw`` is the
+    common renewal index of the batch (each round of the vector engine
+    draws one renewal for every live (trial, disk) pair).
+    """
+    # uint64 wraparound is the hash's arithmetic, not an error; numpy only
+    # flags it for 0-d operands, but be explicit for the whole cascade
+    with np.errstate(over="ignore"):
+        z = _mix_np(np.uint64(((seed & _U64_MASK) + _GAMMA) & _U64_MASK))
+        z = _mix_np(z ^ np.asarray(trial, dtype=np.uint64))
+        z = _mix_np(z ^ np.asarray(disk, dtype=np.uint64))
+        z = _mix_np(z ^ np.uint64(draw & _U64_MASK))
+    return (z >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def exponential_np(
+    mean: float, seed: int, trial: np.ndarray, disk: np.ndarray, draw: int
+) -> np.ndarray:
+    """Batched Exp(mean) deviates (bitwise = :func:`exponential_scalar`)."""
+    u = uniform_np(seed, trial, disk, draw)
+    return -mean * np.log1p(-u)

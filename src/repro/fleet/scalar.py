@@ -1,0 +1,119 @@
+"""Pure-Python event-driven reference engine for the fleet Monte-Carlo.
+
+One mission at a time, one event at a time: a heap of ``(time, kind,
+disk)`` entries where repairs (kind 0) sort before failures (kind 1) at
+equal timestamps — a disk whose window ends exactly when another fails
+has already been repaired.  Disk lifetimes are the renewal process
+
+    failure[k+1] = failure[k] + window[disk] + Exp(mttf)
+
+with every exponential drawn from the counter-based RNG at coordinates
+``(seed, trial, disk, k)``, which is what lets :mod:`repro.fleet.vector`
+reproduce this engine's decisions bitwise without replaying its event
+order (see :mod:`repro.fleet.rng`).
+
+Loss semantics: at a failure event, let ``down`` be the failed-and-not-
+yet-repaired set including the new disk.  If ``len(down)`` exceeds the
+tolerance AND the criticality oracle says some stripe has more than
+``tolerance`` members in ``down`` (no oracle = single-array semantics:
+count alone decides), the mission ends at that instant.  Degraded time
+accumulates as *busy periods* — one ``close - open`` term per maximal
+interval with at least one disk down, added chronologically — the exact
+term sequence the vectorized engine sums, so the two agree bitwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.fleet.crit import StripeCriticality
+from repro.fleet.rng import exponential_scalar
+
+_REPAIR = 0
+_FAILURE = 1
+
+
+def run_trials_scalar(
+    windows_hours: np.ndarray,
+    tolerance: int,
+    criticality: Optional[StripeCriticality],
+    mission_hours: float,
+    disk_mttf_hours: float,
+    trials: int,
+    seed: int,
+):
+    """Run ``trials`` missions; returns per-trial outcome arrays.
+
+    Returns ``(lost, loss_time, failures, degraded, observed)`` where
+    ``lost`` is bool, ``loss_time`` is the loss instant (mission length
+    for surviving trials), ``failures`` counts failure events up to the
+    horizon, ``degraded`` is hours with >= 1 disk down (clipped to the
+    horizon) and ``observed`` is the horizon itself.
+    """
+    n_disks = int(len(windows_hours))
+    lost = np.zeros(trials, dtype=bool)
+    loss_time = np.full(trials, float(mission_hours))
+    failures = np.zeros(trials, dtype=np.int64)
+    degraded = np.zeros(trials, dtype=np.float64)
+    observed = np.zeros(trials, dtype=np.float64)
+
+    windows = [float(w) for w in windows_hours]
+
+    for i in range(trials):
+        heap = []
+        draws = [0] * n_disks
+        for d in range(n_disks):
+            t = exponential_scalar(disk_mttf_hours, seed, i, d, 0)
+            draws[d] = 1
+            if t < mission_hours:
+                heapq.heappush(heap, (t, _FAILURE, d))
+        down: Set[int] = set()
+        n_fail = 0
+        deg = 0.0
+        period_open = 0.0
+        trial_lost = False
+        trial_loss_t = float(mission_hours)
+
+        while heap:
+            t, kind, d = heapq.heappop(heap)
+            if kind == _REPAIR:
+                down.discard(d)
+                if not down:
+                    deg += t - period_open
+                continue
+            n_fail += 1
+            if not down:
+                period_open = t
+            down.add(d)
+            if len(down) > tolerance and (
+                criticality is None or criticality.is_critical(down)
+            ):
+                trial_lost = True
+                trial_loss_t = t
+                deg += t - period_open
+                break
+            repair_t = t + windows[d]
+            if repair_t < mission_hours:
+                heapq.heappush(heap, (repair_t, _REPAIR, d))
+            next_fail = repair_t + exponential_scalar(
+                disk_mttf_hours, seed, i, d, draws[d]
+            )
+            draws[d] += 1
+            if next_fail < mission_hours:
+                heapq.heappush(heap, (next_fail, _FAILURE, d))
+
+        if not trial_lost and down:
+            # a repair window reaching past the mission never becomes an
+            # event; the trailing busy period closes at the horizon
+            deg += mission_hours - period_open
+
+        lost[i] = trial_lost
+        loss_time[i] = trial_loss_t
+        failures[i] = n_fail
+        degraded[i] = deg
+        observed[i] = trial_loss_t if trial_lost else float(mission_hours)
+
+    return lost, loss_time, failures, degraded, observed

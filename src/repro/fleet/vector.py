@@ -1,0 +1,206 @@
+"""Vectorized numpy event core for the fleet Monte-Carlo.
+
+All trials advance in lockstep as struct-of-arrays.  The key observation
+that unlocks batching: because the repair window of a disk is a fixed
+per-disk length, each disk's lifetime is an *independent renewal
+process* — failure ``k+1`` lands at ``t_k + window + Exp(mttf)``
+regardless of anything any other disk does.  So instead of popping one
+event at a time we can:
+
+1. **sample whole renewal rounds** — one batched exponential per live
+   ``(trial, disk)`` pair per round, masked updates compressing the
+   batch as chains pass the mission horizon (a disk alive in round ``k``
+   draws the counter-based deviate at coordinates ``(seed, trial, disk,
+   k)``, bitwise the deviate the scalar reference would draw);
+2. **order all events at once** with a single ``np.lexsort`` over
+   ``(trial, time)`` — the per-trial heaps of the reference collapse
+   into one flat sort;
+3. **count concurrent failures without an event loop**: within a trial's
+   block, the down-count at failure ``j`` (including ``j``) is its rank
+   among the sorted start times minus the number of repair ends at or
+   before it, one ``np.searchsorted`` against the block's sorted ends
+   (``end <= t`` counts as repaired — the reference's repairs-first tie
+   rule).  A zero-length window would subtract an event from its own
+   down-count, so exactly those events get the count added back;
+4. **touch Python only for the rare candidates** whose down-count
+   exceeds the tolerance, reconstructing the exact down set for the
+   stripe-criticality oracle; everything after a trial's loss instant is
+   discarded by clipping to the horizon;
+5. **accumulate degraded time as busy periods**: a running
+   ``np.maximum.accumulate`` over clipped repair ends finds the maximal
+   intervals during which at least one disk is down; each period
+   contributes one ``close - open`` term, summed in chronological order
+   (``np.cumsum``) — the very same term sequence the scalar reference
+   adds, so the float results match bitwise, not just statistically.
+
+The engine reproduces :mod:`repro.fleet.scalar` exactly — identical
+loss/failure counts and bitwise-equal degraded sums — which is what
+``benchmarks/bench_fleet.py`` and the Hypothesis suite verify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fleet.crit import StripeCriticality
+from repro.fleet.rng import exponential_np
+
+
+def _sample_renewals(
+    windows: np.ndarray,
+    mission_hours: float,
+    disk_mttf_hours: float,
+    trials: int,
+    seed: int,
+):
+    """All failure events of every trial, flattened and unsorted.
+
+    Returns ``(ev_t, ev_trial, ev_disk)``; only events strictly inside
+    the mission are kept, matching the reference's push condition.
+    """
+    n_disks = len(windows)
+    trial_ids = np.repeat(np.arange(trials, dtype=np.int64), n_disks)
+    disk_ids = np.tile(np.arange(n_disks, dtype=np.int64), trials)
+    t = exponential_np(disk_mttf_hours, seed, trial_ids, disk_ids, 0)
+
+    parts_t, parts_trial, parts_disk = [], [], []
+    draw = 1
+    while True:
+        alive = t < mission_hours
+        if not alive.any():
+            break
+        trial_ids = trial_ids[alive]
+        disk_ids = disk_ids[alive]
+        t = t[alive]
+        parts_t.append(t)
+        parts_trial.append(trial_ids)
+        parts_disk.append(disk_ids)
+        # same left-to-right order as the reference: (t + window) + exp
+        t = (
+            t
+            + windows[disk_ids]
+            + exponential_np(disk_mttf_hours, seed, trial_ids, disk_ids, draw)
+        )
+        draw += 1
+
+    if not parts_t:
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_f, empty_i, empty_i
+    return (
+        np.concatenate(parts_t),
+        np.concatenate(parts_trial),
+        np.concatenate(parts_disk),
+    )
+
+
+def run_trials_vector(
+    windows_hours: np.ndarray,
+    tolerance: int,
+    criticality: Optional[StripeCriticality],
+    mission_hours: float,
+    disk_mttf_hours: float,
+    trials: int,
+    seed: int,
+):
+    """Batched counterpart of :func:`repro.fleet.scalar.run_trials_scalar`.
+
+    Same contract: ``(lost, loss_time, failures, degraded, observed)``.
+    """
+    windows = np.asarray(windows_hours, dtype=np.float64)
+    mission = float(mission_hours)
+
+    lost = np.zeros(trials, dtype=bool)
+    loss_time = np.full(trials, mission)
+    failures = np.zeros(trials, dtype=np.int64)
+    degraded = np.zeros(trials, dtype=np.float64)
+    observed = np.full(trials, mission)
+
+    ev_t, ev_trial, ev_disk = _sample_renewals(
+        windows, mission, disk_mttf_hours, trials, seed
+    )
+    if len(ev_t) == 0:
+        return lost, loss_time, failures, degraded, observed
+
+    # chronological order within each trial
+    order = np.lexsort((ev_t, ev_trial))
+    ev_t = ev_t[order]
+    ev_trial = ev_trial[order]
+    ev_disk = ev_disk[order]
+    ev_end = ev_t + windows[ev_disk]
+    # a zero-length window makes an event's own end coincide with its
+    # start; the "end <= t is repaired" count would subtract it from its
+    # own down-count, so add it back for exactly those events
+    self_tie = (windows[ev_disk] == 0.0).astype(np.int64)
+    trial_ptr = np.searchsorted(
+        ev_trial, np.arange(trials + 1, dtype=np.int64)
+    )
+
+    for tr in range(trials):
+        lo = int(trial_ptr[tr])
+        hi = int(trial_ptr[tr + 1])
+        if lo == hi:
+            continue
+        t = ev_t[lo:hi]
+        end = ev_end[lo:hi]
+        n = hi - lo
+
+        # down-count including the new failure: rank among starts minus
+        # repairs completed at or before it
+        down_incl = (
+            np.arange(1, n + 1, dtype=np.int64)
+            - np.searchsorted(np.sort(end), t, side="right")
+            + self_tie[lo:hi]
+        )
+
+        horizon = mission
+        trial_lost = False
+        cand = np.flatnonzero(down_incl > tolerance)
+        if cand.size:
+            if criticality is None:
+                # single-array semantics: the count alone decides
+                trial_lost = True
+                horizon = float(t[cand[0]])
+            else:
+                disks = ev_disk[lo:hi]
+                for j in cand:
+                    t_j = t[j]
+                    down = set(
+                        int(d) for d in disks[:j][end[:j] > t_j]
+                    )
+                    down.add(int(disks[j]))
+                    assert len(down) == int(down_incl[j]), (
+                        "down-set reconstruction disagrees with the ranks"
+                    )
+                    if criticality.is_critical(down):
+                        trial_lost = True
+                        horizon = float(t_j)
+                        break
+
+        # events at or before the horizon happened; renewal chains past a
+        # loss are samples the reference never took and are discarded
+        n_obs = int(np.searchsorted(t, horizon, side="right"))
+        failures[tr] = n_obs
+        if n_obs:
+            # busy periods: clip ends to the horizon, chain overlapping
+            # intervals with a running max, one term per maximal period
+            mend = np.minimum(end[:n_obs], horizon)
+            cover = np.maximum.accumulate(mend)
+            opens = np.empty(n_obs, dtype=bool)
+            opens[0] = True
+            opens[1:] = t[1:n_obs] > cover[:-1]
+            open_idx = np.flatnonzero(opens)
+            close_idx = np.append(open_idx[1:] - 1, n_obs - 1)
+            terms = cover[close_idx] - t[open_idx]
+            # sequential (cumsum) summation mirrors the reference's
+            # chronological accumulation bitwise
+            degraded[tr] = float(np.cumsum(terms)[-1])
+
+        if trial_lost:
+            lost[tr] = True
+            loss_time[tr] = horizon
+            observed[tr] = horizon
+
+    return lost, loss_time, failures, degraded, observed

@@ -67,3 +67,27 @@ class TestSimulation:
         r = simulate_reliability(code, 1.0, disk_mttf_hours=2000.0,
                                  mission_hours=50000.0, trials=50, seed=9)
         assert r.mean_failures_per_mission > 1.0
+
+    def test_lost_missions_still_count_degraded_time(self):
+        """Regression: the degraded interval in flight when a mission is
+        lost used to be dropped, so a regime where every trial loses data
+        reported a degraded fraction of exactly zero."""
+        code = RdpCode(5)
+        r = simulate_reliability(code, 5000.0, disk_mttf_hours=200.0,
+                                 mission_hours=50000.0, trials=40, seed=4)
+        assert r.data_loss_probability == 1.0
+        assert r.mean_degraded_fraction > 0.0
+
+    def test_zero_recovery_hours_is_explicitly_allowed(self):
+        code = RdpCode(5)
+        r = simulate_reliability(code, 0.0, trials=5, seed=0)
+        assert r.trials == 5
+
+    def test_validation_messages(self):
+        code = RdpCode(5)
+        with pytest.raises(ValueError, match=">= 0"):
+            simulate_reliability(code, -0.5)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_reliability(code, 1.0, disk_mttf_hours=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_reliability(code, 1.0, mission_hours=-10.0)

@@ -1,0 +1,1 @@
+"""Tests for the fleet-scale durability Monte-Carlo."""

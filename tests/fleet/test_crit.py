@@ -1,0 +1,88 @@
+"""Stripe-coverage criticality: the exact which-disks loss test."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.crit import StripeCriticality, make_criticality
+from repro.placement import make_placement
+
+
+def _placement(name="declustered", n_pool=20, n_stripes=60, width=5):
+    return make_placement(name, n_pool, n_stripes, width)
+
+
+class TestInverseMap:
+    def test_matches_stripes_of_disk(self):
+        placement = _placement()
+        crit = StripeCriticality(placement, 2)
+        for disk in range(placement.n_pool):
+            expected, _slots = placement.stripes_of_disk(disk)
+            got = np.sort(crit._stripes(disk))
+            assert np.array_equal(got, np.sort(expected))
+
+    def test_max_overlap_counts_coresident_disks(self):
+        placement = _placement()
+        crit = StripeCriticality(placement, 2)
+        stripe_disks = [int(d) for d in placement.table[0]]
+        assert crit.max_overlap(stripe_disks) == len(stripe_disks)
+        assert crit.max_overlap(stripe_disks[:2]) >= 2
+        assert crit.max_overlap([stripe_disks[0]]) == 1
+        assert crit.max_overlap([]) == 0
+
+
+class TestIsCritical:
+    def test_small_down_sets_never_critical(self):
+        crit = StripeCriticality(_placement(), 2)
+        assert not crit.is_critical([0])
+        assert not crit.is_critical([0, 1])
+
+    def test_full_stripe_down_is_critical(self):
+        placement = _placement()
+        crit = StripeCriticality(placement, 2)
+        assert crit.is_critical(placement.table[0])
+
+    def test_flat_groups_isolate_failures(self):
+        """Disks from different flat groups never share a stripe."""
+        placement = _placement("flat", n_pool=20, n_stripes=60, width=5)
+        crit = StripeCriticality(placement, 2)
+        # 0-4 is group 0, 5-9 group 1: three down across groups is safe,
+        # three down inside one group exceeds tolerance 2
+        assert not crit.is_critical([0, 5, 10])
+        assert crit.is_critical([0, 1, 2])
+
+    def test_tolerance_zero(self):
+        placement = _placement()
+        crit = StripeCriticality(placement, 0)
+        # every pool disk hosts at least one stripe in this dense regime
+        assert crit.is_critical([0])
+
+    def test_unplaced_disk_not_critical(self):
+        """A pool disk hosting no stripes cannot lose data."""
+        # 1 stripe of width 5 on a 20-disk pool leaves 15 disks empty
+        placement = _placement(n_pool=20, n_stripes=1)
+        crit = StripeCriticality(placement, 0)
+        used = set(int(d) for d in placement.table[0])
+        empty = next(d for d in range(20) if d not in used)
+        assert not crit.is_critical([empty])
+
+    def test_memoised(self):
+        placement = _placement()
+        crit = StripeCriticality(placement, 2)
+        down = [int(d) for d in placement.table[0][:4]]
+        first = crit.is_critical(down)
+        assert frozenset(down) in crit._memo
+        assert crit.is_critical(tuple(reversed(down))) == first
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            StripeCriticality(_placement(), -1)
+
+
+class TestMakeCriticality:
+    def test_none_placement(self):
+        assert make_criticality(None, 2) is None
+
+    def test_placed_pool(self):
+        crit = make_criticality(_placement(), 2)
+        assert isinstance(crit, StripeCriticality)
+        assert crit.tolerance == 2

@@ -1,0 +1,123 @@
+"""Property suite: the numpy core is pinned to the scalar reference.
+
+Same seed, same fleet, same physics -> the two engines must return
+*identical* per-trial outcome arrays (losses, loss times, failure
+counts, degraded hours, observed hours).  The counter-based RNG makes
+this an exact equality, degraded hours included — both engines add the
+same busy-period terms in the same chronological order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.crit import make_criticality
+from repro.fleet.scalar import run_trials_scalar
+from repro.fleet.vector import run_trials_vector
+from repro.placement import make_placement
+
+
+def _assert_engines_identical(
+    windows, tolerance, criticality, mission, mttf, trials, seed
+):
+    scalar = run_trials_scalar(
+        windows, tolerance, criticality, mission, mttf, trials, seed
+    )
+    vector = run_trials_vector(
+        windows, tolerance, criticality, mission, mttf, trials, seed
+    )
+    names = ("lost", "loss_time", "failures", "degraded", "observed")
+    for name, s, v in zip(names, scalar, vector):
+        assert np.array_equal(s, v), f"{name} diverged"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_disks=st.integers(min_value=1, max_value=24),
+    window=st.sampled_from([0.0, 0.5, 5.0, 24.0, 200.0]),
+    tolerance=st.integers(min_value=0, max_value=3),
+    mttf=st.sampled_from([50.0, 400.0, 3000.0]),
+    mission=st.sampled_from([10.0, 1000.0, 8760.0]),
+    trials=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_uniform_fleet_engines_identical(
+    n_disks, window, tolerance, mttf, mission, trials, seed
+):
+    windows = np.full(n_disks, window)
+    _assert_engines_identical(
+        windows, tolerance, None, mission, mttf, trials, seed
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tolerance=st.integers(min_value=0, max_value=2),
+    mttf=st.sampled_from([100.0, 1500.0]),
+    trials=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=2**32),
+    data=st.data(),
+)
+def test_heterogeneous_windows_engines_identical(
+    tolerance, mttf, trials, seed, data
+):
+    n_disks = data.draw(st.integers(min_value=2, max_value=16))
+    windows = np.array(
+        data.draw(
+            st.lists(
+                st.sampled_from([0.0, 1.0, 12.0, 72.0]),
+                min_size=n_disks,
+                max_size=n_disks,
+            )
+        )
+    )
+    _assert_engines_identical(
+        windows, tolerance, None, 8760.0, mttf, trials, seed
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    placement_name=st.sampled_from(["flat", "declustered", "d3"]),
+    window=st.sampled_from([5.0, 48.0]),
+    mttf=st.sampled_from([80.0, 600.0]),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_criticality_oracle_engines_identical(
+    placement_name, window, mttf, seed
+):
+    placement = make_placement(placement_name, 20, 60, 5)
+    crit = make_criticality(placement, 2)
+    windows = np.full(20, window)
+    _assert_engines_identical(windows, 2, crit, 8760.0, mttf, 20, seed)
+
+
+class TestEdgeFleets:
+    def test_one_disk_fleet(self):
+        _assert_engines_identical(
+            np.array([10.0]), 0, None, 5000.0, 300.0, 50, 9
+        )
+
+    def test_tolerance_zero_everything_loses(self):
+        windows = np.full(4, 50.0)
+        lost, *_ = run_trials_vector(windows, 0, None, 8760.0, 100.0, 30, 2)
+        assert lost.all()
+        _assert_engines_identical(windows, 0, None, 8760.0, 100.0, 30, 2)
+
+    def test_mission_shorter_than_first_failure(self):
+        """Mission ends before anything breaks: no events at all."""
+        windows = np.full(8, 5.0)
+        scalar = run_trials_scalar(windows, 1, None, 0.001, 1e9, 10, 3)
+        vector = run_trials_vector(windows, 1, None, 0.001, 1e9, 10, 3)
+        for s, v in zip(scalar, vector):
+            assert np.array_equal(s, v)
+        lost, _lt, failures, degraded, observed = vector
+        assert not lost.any()
+        assert failures.sum() == 0
+        assert degraded.sum() == 0.0
+        assert np.all(observed == 0.001)
+
+    def test_zero_windows(self):
+        _assert_engines_identical(
+            np.zeros(6), 1, None, 8760.0, 200.0, 40, 7
+        )

@@ -1,0 +1,104 @@
+"""FleetResult arithmetic: Wilson intervals, nines, MTTDL."""
+
+import math
+
+import pytest
+
+from repro.fleet.result import FleetResult, wilson_interval
+
+
+def _result(losses=5, trials=100, **over):
+    kwargs = dict(
+        engine="vector",
+        label="test",
+        trials=trials,
+        n_disks=10,
+        mission_hours=8760.0,
+        losses=losses,
+        failures_total=40,
+        observed_hours=trials * 8760.0,
+        degraded_hours=100.0,
+        wall_s=0.5,
+        windows_mean_hours=12.0,
+        windows_max_hours=24.0,
+    )
+    kwargs.update(over)
+    return FleetResult(**kwargs)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(5, 100)
+        assert lo < 0.05 < hi
+
+    def test_zero_losses_nonzero_width(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.05
+
+    def test_all_losses(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == pytest.approx(1.0)
+        assert 0.95 < lo < 1.0
+
+    def test_shrinks_with_n(self):
+        lo1, hi1 = wilson_interval(5, 100)
+        lo2, hi2 = wilson_interval(50, 1000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+
+
+class TestFleetResult:
+    def test_loss_probability(self):
+        assert _result(losses=5, trials=100).loss_probability == 0.05
+
+    def test_nines(self):
+        assert _result(losses=1, trials=1000).nines() == pytest.approx(3.0)
+        assert _result(losses=0).nines() == math.inf
+
+    def test_nines_ci_ordering(self):
+        r = _result(losses=5, trials=100)
+        lo9, hi9 = r.nines_ci()
+        assert lo9 < r.nines() < hi9
+
+    def test_mttdl(self):
+        r = _result(losses=4, trials=100)
+        assert r.mttdl_hours == pytest.approx(100 * 8760.0 / 4)
+        assert _result(losses=0).mttdl_hours == math.inf
+
+    def test_disk_years(self):
+        r = _result(trials=100)
+        assert r.disk_years == pytest.approx(100 * 10)
+        assert r.disk_years_per_s == pytest.approx(1000 / 0.5)
+
+    def test_degraded_fraction_uses_full_mission(self):
+        r = _result(trials=100, degraded_hours=8760.0)
+        assert r.mean_degraded_fraction == pytest.approx(0.01)
+
+    def test_ci_overlaps(self):
+        a = _result(losses=5, trials=100)
+        b = _result(losses=7, trials=100)
+        far = _result(losses=90, trials=100)
+        assert a.ci_overlaps(b)
+        assert b.ci_overlaps(a)
+        assert not a.ci_overlaps(far)
+
+    def test_summary_keys(self):
+        s = _result().summary()
+        for key in (
+            "engine",
+            "loss_probability",
+            "loss_ci_low",
+            "loss_ci_high",
+            "nines",
+            "mttdl_hours",
+            "disk_years_per_s",
+        ):
+            assert key in s

@@ -1,0 +1,85 @@
+"""Counter-based RNG: scalar/vector bitwise parity and sanity."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.rng import (
+    exponential_np,
+    exponential_scalar,
+    uniform_np,
+    uniform_scalar,
+)
+
+
+class TestUniform:
+    def test_range(self):
+        for coords in [(0, 0, 0, 0), (1, 2, 3, 4), (2**63, 10**6, 999, 50)]:
+            u = uniform_scalar(*coords)
+            assert 0.0 <= u < 1.0
+
+    def test_deterministic(self):
+        assert uniform_scalar(7, 3, 5, 2) == uniform_scalar(7, 3, 5, 2)
+
+    def test_coordinates_matter(self):
+        base = uniform_scalar(7, 3, 5, 2)
+        assert uniform_scalar(8, 3, 5, 2) != base
+        assert uniform_scalar(7, 4, 5, 2) != base
+        assert uniform_scalar(7, 3, 6, 2) != base
+        assert uniform_scalar(7, 3, 5, 3) != base
+
+    def test_scalar_vector_bitwise_parity(self):
+        trials = np.repeat(np.arange(5, dtype=np.int64), 7)
+        disks = np.tile(np.arange(7, dtype=np.int64), 5)
+        for seed in (0, 1, 12345, 2**62):
+            for draw in (0, 1, 17):
+                batch = uniform_np(seed, trials, disks, draw)
+                singles = np.array(
+                    [
+                        uniform_scalar(seed, int(t), int(d), draw)
+                        for t, d in zip(trials, disks)
+                    ]
+                )
+                assert np.array_equal(batch, singles)
+
+    def test_roughly_uniform(self):
+        n = 20_000
+        us = uniform_np(
+            3, np.zeros(n, dtype=np.int64), np.arange(n, dtype=np.int64), 0
+        )
+        assert abs(us.mean() - 0.5) < 0.01
+        assert abs(np.mean(us < 0.25) - 0.25) < 0.02
+
+
+class TestExponential:
+    def test_scalar_vector_bitwise_parity(self):
+        trials = np.repeat(np.arange(4, dtype=np.int64), 3)
+        disks = np.tile(np.arange(3, dtype=np.int64), 4)
+        batch = exponential_np(1000.0, 9, trials, disks, 2)
+        singles = np.array(
+            [
+                exponential_scalar(1000.0, 9, int(t), int(d), 2)
+                for t, d in zip(trials, disks)
+            ]
+        )
+        assert np.array_equal(batch, singles)
+
+    def test_positive(self):
+        xs = exponential_np(
+            500.0,
+            1,
+            np.zeros(1000, dtype=np.int64),
+            np.arange(1000, dtype=np.int64),
+            0,
+        )
+        assert np.all(xs > 0)
+
+    def test_mean(self):
+        n = 50_000
+        xs = exponential_np(
+            2000.0,
+            4,
+            np.zeros(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+            0,
+        )
+        assert xs.mean() == pytest.approx(2000.0, rel=0.03)

@@ -1,0 +1,134 @@
+"""Repair-window pricing through the recovery/placement/topology stack."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.fleet.windows import (
+    QosPolicy,
+    price_repair_windows,
+    uniform_windows,
+)
+from repro.placement import make_placement
+from repro.topology import Topology
+
+
+class TestQosPolicy:
+    def test_defaults(self):
+        p = QosPolicy()
+        assert p.rebuild_headroom == 1.0
+        assert p.capacity_scale == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"disk_bw_mb_s": 0.0},
+            {"disk_bw_mb_s": -1.0},
+            {"rebuild_headroom": 0.0},
+            {"rebuild_headroom": 1.5},
+            {"detect_hours": -0.1},
+            {"capacity_scale": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QosPolicy(**kwargs)
+
+    def test_hashable(self):
+        """Frozen + hashable: policies key the pricing memo."""
+        assert hash(QosPolicy()) == hash(QosPolicy())
+
+
+class TestUniformWindows:
+    def test_shape_and_value(self):
+        w = uniform_windows(8, 12.0)
+        assert w.n_disks == 8
+        assert w.mean_hours == 12.0
+        assert w.max_hours == 12.0
+
+    def test_zero_allowed(self):
+        assert uniform_windows(4, 0.0).max_hours == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_windows(0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_windows(4, -1.0)
+
+
+class TestPriceRepairWindows:
+    def test_basic_pricing(self):
+        code = make_code("rdp", 5)
+        placement = make_placement("declustered", 24, 100, code.layout.n_disks)
+        w = price_repair_windows(code, placement, cache=False)
+        assert w.n_disks == 24
+        assert np.all(w.hours >= 0)
+        assert w.max_hours > 0
+        assert not w.priced_with_topology
+
+    def test_u_scheme_shrinks_bottleneck(self):
+        """The paper's claim, priced: U beats naive on the window."""
+        code = make_code("rdp", 5)
+        placement = make_placement("declustered", 24, 100, code.layout.n_disks)
+        naive = price_repair_windows(
+            code, placement, algorithm="naive", cache=False
+        )
+        u = price_repair_windows(code, placement, algorithm="u", cache=False)
+        assert u.max_hours <= naive.max_hours
+
+    def test_headroom_stretches_window(self):
+        code = make_code("rdp", 5)
+        placement = make_placement("flat", 24, 100, code.layout.n_disks)
+        full = price_repair_windows(code, placement, cache=False)
+        half = price_repair_windows(
+            code,
+            placement,
+            policy=QosPolicy(rebuild_headroom=0.5),
+            cache=False,
+        )
+        assert half.max_hours == pytest.approx(2 * full.max_hours)
+
+    def test_detect_hours_added(self):
+        code = make_code("rdp", 5)
+        placement = make_placement("flat", 24, 100, code.layout.n_disks)
+        base = price_repair_windows(code, placement, cache=False)
+        lagged = price_repair_windows(
+            code, placement, policy=QosPolicy(detect_hours=2.0), cache=False
+        )
+        assert lagged.max_hours == pytest.approx(base.max_hours + 2.0)
+
+    def test_memoised(self):
+        code = make_code("rdp", 5)
+        placement = make_placement("declustered", 24, 100, code.layout.n_disks)
+        first = price_repair_windows(code, placement)
+        second = price_repair_windows(code, placement)
+        assert second is first
+        uncached = price_repair_windows(code, placement, cache=False)
+        assert uncached is not first
+        assert np.array_equal(uncached.hours, first.hours)
+
+    def test_width_mismatch_rejected(self):
+        code = make_code("rdp", 5)  # 5 disks
+        placement = make_placement("flat", 20, 50, 4)
+        with pytest.raises(ValueError, match="width"):
+            price_repair_windows(code, placement, cache=False)
+
+    def test_topology_pricing(self):
+        code = make_code("rdp", 5)
+        topo = Topology.parse("2x3x4")  # 24 disks
+        placement = make_placement(
+            "declustered", 24, 100, code.layout.n_disks, topology=topo
+        )
+        flat_priced = price_repair_windows(
+            code, placement, use_topology=False, cache=False
+        )
+        topo_priced = price_repair_windows(code, placement, cache=False)
+        assert topo_priced.priced_with_topology
+        # network links can only slow the rebuild down, never speed it up
+        assert topo_priced.max_hours >= flat_priced.max_hours
+
+    def test_use_topology_without_topology_rejected(self):
+        code = make_code("rdp", 5)
+        placement = make_placement("flat", 24, 100, code.layout.n_disks)
+        with pytest.raises(ValueError, match="topology"):
+            price_repair_windows(code, placement, use_topology=True)

@@ -236,6 +236,24 @@ class TestCommands:
                      "--placement", "d3"]) == 2
         assert "--shards" in capsys.readouterr().err
 
+    def test_fleet_table(self, capsys):
+        assert main(["fleet", "--family", "rdp", "--disks", "5",
+                     "--pool-disks", "24", "--stripes", "100",
+                     "--trials", "30", "--mttf-hours", "1500",
+                     "--capacity-scale", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "p(loss)" in out
+        assert "declustered" in out and "flat" in out
+
+    def test_fleet_both_engines_agree(self, capsys):
+        assert main(["fleet", "--family", "rdp", "--disks", "5",
+                     "--pool-disks", "24", "--stripes", "100",
+                     "--trials", "25", "--mttf-hours", "1200",
+                     "--capacity-scale", "1e6", "--engine", "both"]) == 0
+        captured = capsys.readouterr()
+        assert "engines agree" in captured.out
+        assert "MISMATCH" not in captured.out
+
 
 class TestErrorContract:
     """Unknown families / invalid geometry: one-line stderr, exit 2."""
