@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Cross-family recovery comparison: conventional vs C vs U schemes.
+
+Runs the paper's single-disk-failure experiment over every registered code
+family — horizontal RAID, the paper's XOR families, Cauchy-RS, the vertical
+X-Code, and the locality/regenerating families (Azure-LRC, Xorbas, MDR) —
+and records, per (family, n_disks) point and averaged over every failed
+disk:
+
+* ``total_reads`` — surviving elements read (the amount of recovery I/O),
+* ``max_load`` — reads on the busiest disk (parallel recovery time),
+* ``balance`` — ``max_load / ideal`` where ideal is ``total_reads``
+  spread evenly over the survivors (1.0 = perfectly balanced).
+
+All three generators run with the same search settings, so the table is the
+paper's Figure-3 story asked across *code families* instead of disk counts:
+how much of the conventional repair's imbalance does the U-scheme recover,
+even against locality codes whose conventional repair is already cheap?
+
+Results land in ``BENCH_codes.json`` at the repo root::
+
+    {
+      "config": {...},
+      "points": [{"family", "n_disks", "per_algorithm":
+                  {"conventional": {"total_reads", "max_load", "balance"},
+                   "c": {...}, "u": {...}},
+                  "locality": {...family-specific extras...}}, ...],
+      "summary": {"u_vs_conventional_max_load_geomean": ...,
+                  "families": [...]}
+    }
+
+``--check`` enforces the acceptance bars:
+
+* the U-scheme's mean max-load is <= the conventional repair's on every
+  grid point (load balancing never loses to the production default);
+* Azure-LRC conventional data-disk repair reads only the local group:
+  <= ceil(k/l) disks' worth of elements;
+* Xorbas conventional parity repair reads <= (l + g - 1) disks' worth;
+* MDR's analytic rebuild plan reads exactly half of every survivor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_codes.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_codes.py --quick   # CI smoke
+    ... --check   # additionally enforce the family bars
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.codes import make_code  # noqa: E402
+from repro.codes.lrc import AzureLrcCode  # noqa: E402
+from repro.codes.mdr import MdrCode  # noqa: E402
+from repro.codes.xorbas import XorbasCode  # noqa: E402
+from repro.recovery import scheme_for_disk  # noqa: E402
+
+ALGORITHMS = ["conventional", "c", "u"]
+
+#: (family, n_disks) — every registry family at small and wide sizes
+FULL_GRID = [
+    ("rdp", 8), ("rdp", 12), ("rdp", 16),
+    ("evenodd", 8), ("evenodd", 12), ("evenodd", 16),
+    ("blaum_roth", 8), ("blaum_roth", 12),
+    ("liberation", 8), ("liberation", 12),
+    ("liber8tion", 8), ("liber8tion", 10),
+    ("star", 9), ("star", 12),
+    ("gen_evenodd", 9), ("gen_evenodd", 12),
+    ("raid4", 8), ("raid4", 12),
+    ("cauchy_rs", 8), ("cauchy_rs", 12),
+    ("cauchy_rs3", 9), ("cauchy_rs3", 12),
+    ("cauchy_good", 8), ("cauchy_good", 12),
+    ("xcode", 7), ("xcode", 11),
+    ("lrc", 10), ("lrc", 12), ("lrc", 16),
+    ("xorbas", 10), ("xorbas", 12), ("xorbas", 16),
+    ("mdr", 4), ("mdr", 5), ("mdr", 6),
+]
+QUICK_GRID = [
+    ("rdp", 8),
+    ("evenodd", 8),
+    ("cauchy_rs", 8),
+    ("xcode", 7),
+    ("lrc", 10),
+    ("xorbas", 10),
+    ("mdr", 4),
+]
+
+#: uniform search budget: keeps the wide/sub-packetized points bounded while
+#: staying deterministic (the truncated search finishes greedily)
+MAX_EXPANSIONS = 20_000
+
+
+def _geomean(values: List[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def measure_point(family: str, n_disks: int, depth: int, verbose: bool) -> Dict:
+    code = make_code(family, n_disks)
+    lay = code.layout
+    survivors = lay.n_disks - 1
+    per_algorithm: Dict[str, Dict] = {}
+    t0 = time.perf_counter()
+    for alg in ALGORITHMS:
+        kwargs = (
+            {}
+            if alg == "conventional"
+            else {"depth": depth, "max_expansions": MAX_EXPANSIONS}
+        )
+        totals, maxes, balances = [], [], []
+        for disk in range(lay.n_disks):
+            scheme = scheme_for_disk(code, disk, algorithm=alg, **kwargs)
+            scheme.validate(code)
+            ideal = scheme.total_reads / survivors
+            totals.append(scheme.total_reads)
+            maxes.append(scheme.max_load)
+            balances.append(scheme.max_load / ideal if ideal else 1.0)
+        per_algorithm[alg] = {
+            "total_reads": sum(totals) / len(totals),
+            "max_load": sum(maxes) / len(maxes),
+            "balance": sum(balances) / len(balances),
+        }
+    wall_ms = (time.perf_counter() - t0) * 1e3
+
+    locality: Dict[str, object] = {}
+    if isinstance(code, XorbasCode):
+        budget = (code.l_groups + code.g_global - 1) * lay.k_rows
+        reads = [
+            scheme_for_disk(code, d, algorithm="conventional").total_reads
+            for d in lay.parity_disks
+        ]
+        locality["parity_repair_reads"] = max(reads)
+        locality["parity_repair_budget"] = budget
+    elif isinstance(code, AzureLrcCode):
+        budget = max(len(g) for g in code.groups) * lay.k_rows
+        reads = [
+            scheme_for_disk(code, d, algorithm="conventional").total_reads
+            for d in lay.data_disks
+        ]
+        locality["local_repair_reads"] = max(reads)
+        locality["local_repair_budget"] = budget
+    if isinstance(code, MdrCode):
+        ratios = [
+            code.optimal_rebuild_scheme(d).read_mask.bit_count()
+            / (survivors * lay.k_rows)
+            for d in range(lay.n_data)
+        ]
+        locality["optimal_rebuild_ratio"] = max(ratios)
+
+    if verbose:
+        row = " ".join(
+            f"{alg}:{per_algorithm[alg]['max_load']:6.1f}" for alg in ALGORITHMS
+        )
+        print(
+            f"  {family:12s} n={n_disks:2d} mean max_load {row} "
+            f"({wall_ms:6.0f} ms)"
+        )
+    return {
+        "family": family,
+        "n_disks": n_disks,
+        "k_rows": lay.k_rows,
+        "per_algorithm": per_algorithm,
+        "locality": locality,
+        "wall_ms": wall_ms,
+    }
+
+
+def run_checks(points: List[Dict]) -> List[str]:
+    failures = []
+    for p in points:
+        algs = p["per_algorithm"]
+        if algs["u"]["max_load"] > algs["conventional"]["max_load"] + 1e-9:
+            failures.append(
+                f"{p['family']}@{p['n_disks']}: U mean max-load "
+                f"{algs['u']['max_load']:.2f} exceeds conventional "
+                f"{algs['conventional']['max_load']:.2f}"
+            )
+        loc = p["locality"]
+        if "local_repair_reads" in loc:
+            if loc["local_repair_reads"] > loc["local_repair_budget"]:
+                failures.append(
+                    f"{p['family']}@{p['n_disks']}: local repair reads "
+                    f"{loc['local_repair_reads']} > group budget "
+                    f"{loc['local_repair_budget']}"
+                )
+        if "parity_repair_reads" in loc:
+            if loc["parity_repair_reads"] > loc["parity_repair_budget"]:
+                failures.append(
+                    f"{p['family']}@{p['n_disks']}: parity repair reads "
+                    f"{loc['parity_repair_reads']} > l+g-1 budget "
+                    f"{loc['parity_repair_budget']}"
+                )
+        if "optimal_rebuild_ratio" in loc:
+            if abs(loc["optimal_rebuild_ratio"] - 0.5) > 1e-9:
+                failures.append(
+                    f"{p['family']}@{p['n_disks']}: optimal rebuild ratio "
+                    f"{loc['optimal_rebuild_ratio']} != 1/2"
+                )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small CI grid")
+    ap.add_argument("--depth", type=int, default=2)
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_codes.json"))
+    ap.add_argument("--check", action="store_true",
+                    help="enforce the cross-family acceptance bars")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    verbose = not args.quiet
+    if verbose:
+        print(f"code-family grid ({len(grid)} points, algorithms: "
+              f"{', '.join(ALGORITHMS)}):")
+    points = [
+        measure_point(family, n_disks, args.depth, verbose)
+        for family, n_disks in grid
+    ]
+
+    summary = {
+        "families": sorted({p["family"] for p in points}),
+        "u_vs_conventional_max_load_geomean": _geomean(
+            [
+                p["per_algorithm"]["conventional"]["max_load"]
+                / p["per_algorithm"]["u"]["max_load"]
+                for p in points
+                if p["per_algorithm"]["u"]["max_load"]
+            ]
+        ),
+        "u_balance_geomean": _geomean(
+            [p["per_algorithm"]["u"]["balance"] for p in points]
+        ),
+        "conventional_balance_geomean": _geomean(
+            [p["per_algorithm"]["conventional"]["balance"] for p in points]
+        ),
+    }
+    payload = {
+        "config": {
+            "grid": [list(g) for g in grid],
+            "algorithms": ALGORITHMS,
+            "depth": args.depth,
+            "max_expansions": MAX_EXPANSIONS,
+            "cpu_count": os.cpu_count(),
+            "pure_python": bool(int(os.environ.get("REPRO_PURE_PYTHON", "0"))),
+            "quick": args.quick,
+        },
+        "points": points,
+        "summary": summary,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+
+    if verbose:
+        print(
+            f"summary: U max-load {summary['u_vs_conventional_max_load_geomean']:.2f}x "
+            f"lower than conventional (geomean); balance "
+            f"{summary['conventional_balance_geomean']:.2f} -> "
+            f"{summary['u_balance_geomean']:.2f}"
+        )
+        print(f"results written to {args.output}")
+
+    if args.check:
+        failures = run_checks(points)
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        if verbose:
+            print("checks passed: U max-load <= conventional on every point; "
+                  "locality and rebuild-ratio bars hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

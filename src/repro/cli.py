@@ -94,8 +94,8 @@ def _cmd_scheme(args) -> int:
     code = make_code(args.family, args.disks)
     scheme = scheme_for_disk(
         code, args.failed_disk, algorithm=args.algorithm, depth=args.depth
-    ) if args.algorithm != "naive" else scheme_for_disk(
-        code, args.failed_disk, algorithm="naive"
+    ) if args.algorithm not in ("naive", "conventional") else scheme_for_disk(
+        code, args.failed_disk, algorithm=args.algorithm
     )
     print(code.describe())
     print(scheme.summary())
@@ -115,7 +115,7 @@ def _cmd_scheme(args) -> int:
 def _cmd_verify(args) -> int:
     code = make_code(args.family, args.disks)
     failures = 0
-    for alg in ("naive", "khan", "c", "u"):
+    for alg in ("naive", "conventional", "khan", "c", "u"):
         for disk in range(code.layout.n_disks):
             try:
                 scheme = scheme_for_disk(code, disk, algorithm=alg)
@@ -135,15 +135,15 @@ def _cmd_verify(args) -> int:
 def _cmd_simulate(args) -> int:
     code = make_code(args.family, args.disks)
     print(code.describe())
-    for alg in ("naive", "khan", "c", "u"):
+    for alg in ("naive", "conventional", "khan", "c", "u"):
         try:
             planner = RecoveryPlanner(code, algorithm=alg, depth=args.depth)
             schemes = planner.all_data_disk_schemes()
         except ValueError:
-            print(f"  {alg:5s}: n/a")
+            print(f"  {alg:12s}: n/a")
             continue
         result = simulate_stack_recovery(code, schemes, stacks=args.stacks)
-        print(f"  {alg:5s}: {result.speed_mb_s:7.1f} MB/s")
+        print(f"  {alg:12s}: {result.speed_mb_s:7.1f} MB/s")
     return 0
 
 
@@ -183,7 +183,7 @@ def _cmd_stats(args) -> int:
 
     code = make_code(args.family, args.disks)
     schemes = {}
-    for alg in ("naive", "khan", "c", "u"):
+    for alg in ("naive", "conventional", "khan", "c", "u"):
         try:
             schemes[alg] = scheme_for_disk(code, args.failed_disk, algorithm=alg)
         except ValueError:
@@ -224,7 +224,7 @@ def _cmd_recover(args) -> int:
     code = make_code(args.family, args.disks)
     scheme = scheme_for_disk(
         code, args.failed_disk, algorithm=args.algorithm
-    ) if args.algorithm == "naive" else scheme_for_disk(
+    ) if args.algorithm in ("naive", "conventional") else scheme_for_disk(
         code, args.failed_disk, algorithm=args.algorithm, depth=args.depth
     )
     rng = np.random.default_rng(args.seed)
@@ -679,7 +679,11 @@ def _cmd_trace(args) -> int:
     )
     try:
         with obs.span("trace.pipeline"):
-            kwargs = {} if args.algorithm == "naive" else {"depth": args.depth}
+            kwargs = (
+                {}
+                if args.algorithm in ("naive", "conventional")
+                else {"depth": args.depth}
+            )
             scheme = scheme_for_disk(
                 code, args.failed_disk, algorithm=args.algorithm, **kwargs
             )
@@ -847,7 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scheme", help="show a recovery scheme")
     _add_code_args(p)
     p.add_argument("--failed-disk", type=int, default=0)
-    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--algorithm", default="u", choices=["naive", "conventional", "khan", "c", "u"])
     p.add_argument("--depth", type=int, default=2)
 
     p = sub.add_parser("verify", help="byte-exact recovery round trip")
@@ -886,7 +890,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_code_args(p)
     p.add_argument("--failed-disk", type=int, default=0)
-    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--algorithm", default="u", choices=["naive", "conventional", "khan", "c", "u"])
     p.add_argument("--depth", type=int, default=2)
     p.add_argument("--stripes", type=int, default=4)
     p.add_argument("--element-size", type=int, default=64)
@@ -907,7 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_code_args(p)
     p.add_argument("--failed-disk", type=int, default=0,
                    help="failed *physical* disk")
-    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--algorithm", default="u", choices=["naive", "conventional", "khan", "c", "u"])
     p.add_argument("--depth", type=int, default=1)
     p.add_argument("--stripes", type=int, default=64)
     p.add_argument("--element-size", type=int, default=512)
@@ -991,7 +995,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_code_args(p)
     p.add_argument("--failed-disk", type=int, default=0)
-    p.add_argument("--algorithm", default="u", choices=["naive", "khan", "c", "u"])
+    p.add_argument("--algorithm", default="u", choices=["naive", "conventional", "khan", "c", "u"])
     p.add_argument("--depth", type=int, default=2)
     p.add_argument("--stacks", type=int, default=4)
     p.add_argument("--out", default="trace.jsonl", help="JSONL output path")

@@ -5,9 +5,10 @@ element; see :class:`~repro.codes.base.ErasureCode`), which is the exact
 input format of the paper's recovery-scheme generators.
 
 Families provided: RAID-4, RDP, EVENODD, generalized EVENODD, STAR,
-Blaum-Roth, Liberation, Liber8tion-class minimal density, and Cauchy
-Reed-Solomon — all supporting the "shorten" method for arbitrary disk counts
-via :func:`~repro.codes.registry.make_code`.
+Blaum-Roth, Liberation, Liber8tion-class minimal density, Cauchy
+Reed-Solomon, Azure-LRC, Xorbas-LRC, and MDR/zigzag — all supporting the
+"shorten" method for arbitrary disk counts via
+:func:`~repro.codes.registry.make_code`.
 """
 
 from repro.codes.base import ErasureCode
@@ -18,6 +19,8 @@ from repro.codes.gen_evenodd import GeneralizedEvenOddCode
 from repro.codes.layout import CodeLayout
 from repro.codes.liber8tion import Liber8tionCode
 from repro.codes.liberation import LiberationCode
+from repro.codes.lrc import AzureLrcCode, split_groups
+from repro.codes.mdr import MdrCode
 from repro.codes.min_density import MinDensityRaid6Code
 from repro.codes.raid import Raid4Code
 from repro.codes.rdp import RdpCode
@@ -30,10 +33,14 @@ from repro.codes.registry import (
 from repro.codes.star import StarCode
 from repro.codes.validation import ValidationReport, validate_code
 from repro.codes.xcode import XCode
+from repro.codes.xorbas import XorbasCode
 
 __all__ = [
+    "AzureLrcCode",
     "CodeLayout",
     "ErasureCode",
+    "MdrCode",
+    "XorbasCode",
     "Raid4Code",
     "RdpCode",
     "EvenOddCode",
@@ -51,5 +58,6 @@ __all__ = [
     "XCode",
     "list_families",
     "make_code",
+    "split_groups",
     "validate_code",
 ]

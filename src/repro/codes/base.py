@@ -166,6 +166,31 @@ class ErasureCode(ABC):
         return True
 
     # ------------------------------------------------------------------
+    # locality (optional hints, used by the conventional-repair baseline)
+    # ------------------------------------------------------------------
+    def locality_groups(self) -> Optional[List[List[int]]]:
+        """Disk-id groups with cheap internal repair, or ``None``.
+
+        Locality-capable codes (Azure-LRC, Xorbas, ...) return a list of
+        disk-id lists; any single failure inside a group is repairable by
+        reading only the group's other disks.  Codes without locality keep
+        the default ``None`` — the recovery layer then falls back to the
+        paper's naive first-parity baseline.
+        """
+        return None
+
+    def conventional_repair_equations(self, failed_disk: int) -> Optional[List[int]]:
+        """Calculation equations the *production-default* repair would use.
+
+        For a locality code this is the failed disk's local-group equation
+        set (what Azure/HDFS actually read on a single failure); ``None``
+        means "no special conventional path" and the recovery layer uses
+        the naive first-parity scheme instead.  Every returned mask must
+        lie in the row space of the parity-check matrix.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
     def density(self) -> int:

@@ -30,6 +30,8 @@ class EvenOddCode(ErasureCode):
     def __init__(self, p: int, n_data: int = None) -> None:
         if not is_prime(p):
             raise ValueError(f"EVENODD requires prime p, got {p}")
+        if p < 3:
+            raise ValueError(f"EVENODD requires odd prime p >= 3, got {p}")
         if n_data is None:
             n_data = p
         if not 1 <= n_data <= p:

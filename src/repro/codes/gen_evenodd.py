@@ -36,6 +36,8 @@ class GeneralizedEvenOddCode(ErasureCode):
     def __init__(self, p: int, n_data: int = None, m_parity: int = 3) -> None:
         if not is_prime(p):
             raise ValueError(f"generalized EVENODD requires prime p, got {p}")
+        if p < 3:
+            raise ValueError(f"generalized EVENODD requires odd prime p >= 3, got {p}")
         if n_data is None:
             n_data = p
         if not 1 <= n_data <= p:

@@ -17,11 +17,14 @@ from repro.codes.evenodd import EvenOddCode
 from repro.codes.gen_evenodd import GeneralizedEvenOddCode
 from repro.codes.liber8tion import Liber8tionCode
 from repro.codes.liberation import LiberationCode
+from repro.codes.lrc import AzureLrcCode
+from repro.codes.mdr import MdrCode
 from repro.codes.primes import next_prime_at_least
 from repro.codes.raid import Raid4Code
 from repro.codes.rdp import RdpCode
 from repro.codes.star import StarCode
 from repro.codes.xcode import XCode
+from repro.codes.xorbas import XorbasCode
 
 
 def _make_rdp(n_disks: int) -> ErasureCode:
@@ -32,19 +35,21 @@ def _make_rdp(n_disks: int) -> ErasureCode:
 
 def _make_evenodd(n_disks: int) -> ErasureCode:
     n_data = n_disks - 2
-    p = next_prime_at_least(n_data)
+    # floor the prime at 3: p=2 degenerates (diagonal parity collapses
+    # onto row parity), so narrow widths shorten from p=3 instead
+    p = next_prime_at_least(max(n_data, 3))
     return EvenOddCode(p, n_data)
 
 
 def _make_star(n_disks: int) -> ErasureCode:
     n_data = n_disks - 3
-    p = next_prime_at_least(n_data)
+    p = next_prime_at_least(max(n_data, 3))
     return StarCode(p, n_data)
 
 
 def _make_gen_evenodd(n_disks: int) -> ErasureCode:
     n_data = n_disks - 3
-    p = next_prime_at_least(n_data)
+    p = next_prime_at_least(max(n_data, 3))
     return GeneralizedEvenOddCode(p, n_data, m_parity=3)
 
 
@@ -89,6 +94,25 @@ def _make_xcode(n_disks: int) -> ErasureCode:
     return XCode(n_disks)
 
 
+def _make_lrc(n_disks: int) -> ErasureCode:
+    # 2 local + 2 global parities; GF(2^4) fits k + g <= 16 up to 16 disks
+    return AzureLrcCode(n_disks - 4, l_groups=2, g_global=2, w=4)
+
+
+def _make_xorbas(n_disks: int) -> ErasureCode:
+    return XorbasCode(n_disks - 4, l_groups=2, g_global=2, w=4)
+
+
+def _make_mdr(n_disks: int) -> ErasureCode:
+    n_data = n_disks - 2
+    if n_data > 6:
+        raise ValueError(
+            f"mdr supports at most 8 disks (3 * 2^k sub-packetization), "
+            f"got {n_disks}"
+        )
+    return MdrCode(n_data)
+
+
 FAMILIES: Dict[str, Callable[[int], ErasureCode]] = {
     "rdp": _make_rdp,
     "evenodd": _make_evenodd,
@@ -102,6 +126,9 @@ FAMILIES: Dict[str, Callable[[int], ErasureCode]] = {
     "cauchy_rs3": _make_cauchy3,
     "cauchy_good": _make_cauchy_good,
     "xcode": _make_xcode,
+    "lrc": _make_lrc,
+    "xorbas": _make_xorbas,
+    "mdr": _make_mdr,
 }
 
 #: the five code families of the paper's Figures 3 and 4, in figure order
@@ -127,7 +154,12 @@ def make_code(family: str, n_disks: int) -> ErasureCode:
         raise ValueError(
             f"unknown code family {family!r}; choose from {list_families()}"
         ) from None
-    min_disks = 4 if family in ("star", "gen_evenodd", "cauchy_rs3") else 3
+    min_disks = 3
+    if family in ("star", "gen_evenodd", "cauchy_rs3", "mdr"):
+        min_disks = 4
+    elif family in ("lrc", "xorbas"):
+        # need at least one data disk per local group
+        min_disks = 6
     if n_disks < min_disks:
         raise ValueError(f"{family} needs at least {min_disks} disks, got {n_disks}")
     return factory(n_disks)

@@ -28,6 +28,8 @@ class StarCode(ErasureCode):
     def __init__(self, p: int, n_data: int = None) -> None:
         if not is_prime(p):
             raise ValueError(f"STAR requires prime p, got {p}")
+        if p < 3:
+            raise ValueError(f"STAR requires odd prime p >= 3, got {p}")
         if n_data is None:
             n_data = p
         if not 1 <= n_data <= p:

@@ -1,0 +1,109 @@
+"""HDFS-Xorbas locally repairable code [Sathiamoorthy et al., "XORing
+Elephants"].
+
+Xorbas is an LRC whose local-parity coefficients are aligned with the global
+parities so that the local parities and the global parities XOR to zero —
+the *implied parity* S1 + S2 + ... + S_l + G_0 + ... + G_{g-1} = 0.  The
+parity disks therefore form a local group of their own: a failed parity
+(local *or* global) is repaired by reading the other ``l + g - 1`` parities
+instead of all ``k`` data disks, which is the construction's selling point
+over plain Azure-LRC.
+
+Here local parity ``j`` is ``L_j = sum_{i in group j} c_i X_i`` with
+``c_i = sum_j 1/(x_i + y_j)`` (the column sums of the Cauchy global matrix).
+With that choice the data terms cancel from the sum of all parity equations,
+giving the implied parity.  For ``g = 2``,
+``c_i = (y_0 + y_1) / ((x_i + y_0)(x_i + y_1))`` is never zero, so every
+data disk stays covered by its local parity.
+
+The price of the implied parity: the local coefficient rows lie in the span
+of the Cauchy rows, so ``g + 1`` data failures inside one group are *not*
+always recoverable — fault tolerance is ``g`` (matching HDFS-Xorbas, whose
+LRC(10, 6, 4) tolerates any 4 failures, like the RS(10, 4) it wraps).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import List, Optional
+
+from repro.codes.lrc import AzureLrcCode
+
+
+class XorbasCode(AzureLrcCode):
+    """Xorbas LRC(k, l, g) with the implied parity-of-parities.
+
+    Same disk order as :class:`AzureLrcCode`; only the local-parity
+    coefficients and the fault tolerance differ.
+    """
+
+    name = "xorbas"
+
+    def __init__(
+        self, n_data: int, l_groups: int = 2, g_global: int = 2, w: int = 4
+    ) -> None:
+        super().__init__(n_data, l_groups, g_global, w)
+        # the implied-parity alignment costs one guaranteed failure
+        self.fault_tolerance = g_global
+        for i in range(n_data):
+            if self._data_coefficient(i) == 0:
+                raise ValueError(
+                    f"xorbas coefficient collapse: data disk {i} vanishes "
+                    f"from its local parity (k={n_data}, g={g_global}, w={w})"
+                )
+
+    def _data_coefficient(self, data_idx: int) -> int:
+        """Local-parity coefficient of data disk ``data_idx``: the column
+        sum of the global Cauchy matrix."""
+        return reduce(
+            lambda a, b: a ^ b,
+            (self.global_coefficient(j, data_idx) for j in range(self.g_global)),
+        )
+
+    def _local_coefficient_matrices(self, group: int) -> List[int]:
+        return [self._data_coefficient(i) for i in self.groups[group]]
+
+    # ------------------------------------------------------------------
+    # the implied parity
+    # ------------------------------------------------------------------
+    def implied_parity_equations(self) -> List[int]:
+        """One equation per stripe row, supported on parity disks only.
+
+        Row ``r``'s equation is the XOR of every original parity equation
+        at row ``r`` — the data terms cancel by construction, leaving
+        exactly one element per parity disk.  These are members of the
+        calculation-equation space (sums of original equations), so they
+        plug into the scheme machinery unchanged.
+        """
+        lay = self.layout
+        eqs = []
+        for r in range(lay.k_rows):
+            eq = 0
+            for p in lay.parity_disks:
+                eq |= 1 << lay.eid(p, r)
+            eqs.append(eq)
+        return eqs
+
+    # ------------------------------------------------------------------
+    # locality
+    # ------------------------------------------------------------------
+    def locality_groups(self) -> List[List[int]]:
+        groups = super().locality_groups()
+        groups.append(list(self.layout.parity_disks))
+        return groups
+
+    def conventional_repair_equations(self, failed_disk: int) -> Optional[List[int]]:
+        lay = self.layout
+        if failed_disk in lay.parity_disks:
+            # any parity repairs from the other parities via the implied
+            # equation — the Xorbas optimal parity repair
+            return self.implied_parity_equations()
+        return super().conventional_repair_equations(failed_disk)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: Xorbas-LRC({self.layout.n_data},{self.l_groups},"
+            f"{self.g_global}) over GF(2^{self.w}), implied parity, "
+            f"{self.layout.k_rows} rows/stripe, tolerates "
+            f"{self.fault_tolerance} failures"
+        )

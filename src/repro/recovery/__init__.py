@@ -1,6 +1,8 @@
 """Recovery-scheme generation — the paper's core contribution.
 
 * :func:`~repro.recovery.naive.naive_scheme` — degraded row-parity baseline.
+* :func:`~repro.recovery.conventional.conventional_scheme` — the
+  production-default repair (local-group for locality codes).
 * :func:`~repro.recovery.khan.khan_scheme` — minimal total read (FAST'12).
 * :func:`~repro.recovery.calgorithm.c_scheme` — C-Algorithm (Sec. III).
 * :func:`~repro.recovery.ualgorithm.u_scheme` — U-Algorithm (Sec. IV),
@@ -12,6 +14,10 @@
 """
 
 from repro.recovery.calgorithm import c_scheme, c_scheme_for_mask
+from repro.recovery.conventional import (
+    conventional_scheme,
+    conventional_scheme_for_mask,
+)
 from repro.recovery.degraded_read import (
     build_degraded_plans,
     degraded_read_scheme,
@@ -44,6 +50,7 @@ from repro.recovery.ualgorithm import u_scheme, u_scheme_for_mask
 
 ALGORITHMS = {
     "naive": naive_scheme,
+    "conventional": conventional_scheme,
     "khan": khan_scheme,
     "c": c_scheme,
     "u": u_scheme,
@@ -51,7 +58,8 @@ ALGORITHMS = {
 
 
 def scheme_for_disk(code, failed_disk: int, algorithm: str = "u", **kwargs):
-    """Dispatch by algorithm name (``naive``/``khan``/``c``/``u``)."""
+    """Dispatch by algorithm name
+    (``naive``/``conventional``/``khan``/``c``/``u``)."""
     try:
         fn = ALGORITHMS[algorithm]
     except KeyError:
@@ -76,6 +84,8 @@ __all__ = [
     "build_degraded_plans",
     "c_scheme",
     "c_scheme_for_mask",
+    "conventional_scheme",
+    "conventional_scheme_for_mask",
     "degraded_read_scheme",
     "escalated_scheme",
     "execute_escalated",

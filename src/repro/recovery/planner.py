@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Union
 from repro import obs
 from repro.codes.base import ErasureCode
 from repro.recovery.calgorithm import c_scheme
+from repro.recovery.conventional import conventional_scheme
 from repro.recovery.khan import khan_scheme
 from repro.recovery.naive import naive_scheme
 from repro.recovery.plancache import SchemePlanCache
@@ -71,7 +72,7 @@ class RecoveryPlanner:
         max_expansions: Optional[int] = 2_000_000,
         plan_cache: Optional[SchemePlanCache] = None,
     ) -> None:
-        if algorithm not in ("naive", "khan", "c", "u"):
+        if algorithm not in ("naive", "conventional", "khan", "c", "u"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
         self.code = code
         self.algorithm = algorithm
@@ -103,6 +104,8 @@ class RecoveryPlanner:
             obs.count("planner.schemes_generated")
             if self.algorithm == "naive":
                 scheme = naive_scheme(self.code, disk)
+            elif self.algorithm == "conventional":
+                scheme = conventional_scheme(self.code, disk)
             elif self.algorithm == "khan":
                 scheme = khan_scheme(
                     self.code, disk, depth=self.depth,

@@ -1,0 +1,97 @@
+"""Registry-wide conformance suite: every family x every disk count.
+
+Runs the four contracts every registered code must honour — exhaustive
+fault tolerance, encode round trip, single-disk recoverability (through
+the conventional baseline), and independent calculation equations — over
+the paper's experimental widths.  The default (tier-1) leg samples four
+widths per family to stay fast; CI's ``codes-conformance`` job sets
+``REPRO_CONFORMANCE_FULL=1`` to sweep every width in 4..16 (4..6 gives
+the narrow families — mdr caps at 8 disks, lrc/xorbas start at 6 — and
+the degenerate-prime shortening its coverage).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.codes import list_families, make_code
+from repro.gf2.linalg import rank
+from repro.recovery import conventional_scheme
+
+FULL = bool(int(os.environ.get("REPRO_CONFORMANCE_FULL", "0")))
+#: paper widths, plus narrow widths so families capped below 7 disks
+#: (mdr) and prime-width verticals (xcode) get instances
+DISKS = tuple(range(4, 17)) if FULL else (4, 7, 10, 16)
+
+_CACHE = {}
+
+
+def _code(family, n_disks):
+    key = (family, n_disks)
+    if key not in _CACHE:
+        _CACHE[key] = make_code(family, n_disks)
+    return _CACHE[key]
+
+
+def _grid():
+    points = []
+    for family in list_families():
+        for n in DISKS:
+            try:
+                make_code(family, n)
+            except ValueError:
+                continue
+            points.append((family, n))
+    return points
+
+
+GRID = _grid()
+
+
+def _params():
+    return [pytest.param(f, n, id=f"{f}-{n}") for f, n in GRID]
+
+
+@pytest.mark.parametrize("family,n_disks", _params())
+def test_fault_tolerance_exhaustive(family, n_disks):
+    """Every combination of up to ``fault_tolerance`` disk failures is
+    recoverable — the family's defining promise, checked exhaustively."""
+    assert _code(family, n_disks).verify_fault_tolerance()
+
+
+@pytest.mark.parametrize("family,n_disks", _params())
+def test_encode_round_trip(family, n_disks):
+    """Random data encodes to a codeword on which every original
+    calculation equation vanishes."""
+    code = _code(family, n_disks)
+    rng = random.Random(hash((family, n_disks)) & 0xFFFF)
+    for _ in range(3):
+        vec = code.encode_vector(rng.getrandbits(code.layout.n_data_elements))
+        assert code.is_codeword(vec)
+
+
+@pytest.mark.parametrize("family,n_disks", _params())
+def test_every_single_disk_failure_recovers(family, n_disks):
+    """Each single-disk failure yields a validated conventional scheme."""
+    code = _code(family, n_disks)
+    for disk in range(code.layout.n_disks):
+        scheme = conventional_scheme(code, disk)
+        scheme.validate(code)
+        assert scheme.failed_mask == code.layout.disk_mask(disk)
+
+
+@pytest.mark.parametrize("family,n_disks", _params())
+def test_equations_independent(family, n_disks):
+    """The original calculation equations are linearly independent (the
+    generator bit-matrix derivation requires the parity part invertible,
+    which this implies together with the parity-coverage structure)."""
+    code = _code(family, n_disks)
+    h = code.parity_check_matrix()
+    n_parity = len(code.parity_eids())
+    assert rank(h) == n_parity
+    # and the generator actually materialises (parity part invertible);
+    # vertical codes (xcode) report n_parity_elements == 0 in the layout
+    # because parity lives in-place, so size via the eid sets instead
+    g = code.generator_bitmatrix()
+    assert g.shape == (n_parity, code.layout.n_elements - n_parity)

@@ -1,0 +1,101 @@
+"""Azure-LRC(k, l, g): construction, locality, and conventional repair."""
+
+import random
+
+import pytest
+
+from repro.codes import AzureLrcCode, make_code, split_groups
+from repro.recovery import conventional_scheme
+
+
+class TestSplitGroups:
+    def test_even_split(self):
+        assert split_groups(6, 2) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_uneven_split_larger_groups_first(self):
+        assert split_groups(7, 3) == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_groups_partition_data_disks(self):
+        for n_data in range(1, 12):
+            for l in range(1, n_data + 1):
+                groups = split_groups(n_data, l)
+                flat = [d for g in groups for d in g]
+                assert flat == list(range(n_data))
+                sizes = [len(g) for g in groups]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_l_rejected(self):
+        with pytest.raises(ValueError):
+            split_groups(4, 0)
+        with pytest.raises(ValueError):
+            split_groups(4, 5)
+
+
+class TestConstruction:
+    def test_layout(self):
+        code = AzureLrcCode(6, l_groups=2, g_global=2, w=4)
+        lay = code.layout
+        assert (lay.n_data, lay.m_parity, lay.k_rows) == (6, 4, 4)
+        assert code.fault_tolerance == 3  # g + 1
+
+    def test_fault_tolerance_exhaustive(self):
+        assert AzureLrcCode(6, l_groups=2, g_global=2, w=4).verify_fault_tolerance()
+
+    def test_field_capacity_enforced(self):
+        # n_data + g must fit in GF(2^w)
+        with pytest.raises(ValueError):
+            AzureLrcCode(15, l_groups=2, g_global=2, w=4)
+
+    def test_encode_round_trip(self):
+        code = AzureLrcCode(6, l_groups=2, g_global=2, w=4)
+        rng = random.Random(7)
+        for _ in range(5):
+            vec = code.encode_vector(rng.getrandbits(code.layout.n_data_elements))
+            assert code.is_codeword(vec)
+
+
+class TestLocality:
+    def test_locality_groups_include_local_parity(self):
+        code = AzureLrcCode(6, l_groups=2, g_global=2, w=4)
+        assert code.locality_groups() == [[0, 1, 2, 6], [3, 4, 5, 7]]
+
+    def test_local_repair_reads_only_group(self):
+        """A failed data disk repairs from its local group alone — the
+        industrial baseline the paper's schemes improve on."""
+        code = AzureLrcCode(6, l_groups=2, g_global=2, w=4)
+        lay = code.layout
+        for disk in range(lay.n_data):
+            scheme = conventional_scheme(code, disk)
+            scheme.validate(code)
+            group = next(g for g in code.locality_groups() if disk in g)
+            loads = scheme.loads
+            read_disks = {d for d in range(lay.n_disks) if loads[d] > 0}
+            assert read_disks <= set(group) - {disk}
+            assert scheme.total_reads == (len(group) - 1) * lay.k_rows
+            assert scheme.metadata.get("source") == "locality"
+
+    def test_global_parity_repair_recomputes_from_data(self):
+        """A global parity has no local group: conventional repair is
+        recomputation from all k data disks via its defining equations."""
+        code = AzureLrcCode(6, l_groups=2, g_global=2, w=4)
+        lay = code.layout
+        for disk in code.global_parity_disks():
+            scheme = conventional_scheme(code, disk)
+            scheme.validate(code)
+            loads = scheme.loads
+            read_disks = {d for d in range(lay.n_disks) if loads[d] > 0}
+            assert read_disks == set(range(lay.n_data))
+            assert scheme.total_reads == lay.n_data * lay.k_rows
+            assert scheme.metadata.get("source") == "locality"
+
+
+class TestRegistryIntegration:
+    def test_registry_sizes(self):
+        for n in (6, 10, 16):
+            code = make_code("lrc", n)
+            assert code.layout.n_disks == n
+
+    def test_too_few_disks(self):
+        # l=2 local groups need at least one data disk each: min 6 disks
+        with pytest.raises(ValueError):
+            make_code("lrc", 5)

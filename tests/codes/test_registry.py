@@ -69,3 +69,84 @@ class TestRegistry:
     def test_figure_families_fault_tolerant(self, family):
         code = make_code(family, 8)
         assert code.verify_fault_tolerance()
+
+
+class TestBoundaries:
+    """Edge widths for every family: the smallest supported instance and
+    the 16-disk paper maximum (or the family's own cap) must construct,
+    and one disk below the minimum must raise."""
+
+    # family -> (min supported n_disks, largest paper-grid width)
+    EDGES = {
+        "raid4": (3, 16),
+        "rdp": (3, 16),
+        "evenodd": (3, 16),
+        "blaum_roth": (3, 16),
+        "liberation": (3, 16),
+        "liber8tion": (3, 10),
+        "star": (4, 16),
+        "gen_evenodd": (4, 16),
+        "cauchy_rs": (3, 16),
+        "cauchy_rs3": (4, 16),
+        "cauchy_good": (3, 16),
+        "xcode": (3, 13),  # vertical: disk count itself must be prime
+        "lrc": (6, 16),
+        "xorbas": (6, 16),
+        "mdr": (4, 8),
+    }
+
+    def test_edges_cover_registry(self):
+        assert set(self.EDGES) == set(list_families())
+
+    @pytest.mark.parametrize("family", sorted(EDGES))
+    def test_min_width_constructs(self, family):
+        lo, _ = self.EDGES[family]
+        code = make_code(family, lo)
+        assert code.layout.n_disks == lo
+        assert code.verify_fault_tolerance()
+
+    @pytest.mark.parametrize("family", sorted(EDGES))
+    def test_below_min_raises(self, family):
+        lo, _ = self.EDGES[family]
+        with pytest.raises(ValueError):
+            make_code(family, lo - 1)
+
+    @pytest.mark.parametrize("family", sorted(EDGES))
+    def test_max_width_constructs(self, family):
+        _, hi = self.EDGES[family]
+        code = make_code(family, hi)
+        assert code.layout.n_disks == hi
+
+    def test_xcode_rejects_composite_widths(self):
+        with pytest.raises(ValueError):
+            make_code("xcode", 16)
+
+    def test_mdr_cap(self):
+        with pytest.raises(ValueError, match="at most 8 disks"):
+            make_code("mdr", 9)
+
+    def test_lrc_needs_one_data_disk_per_group(self):
+        with pytest.raises(ValueError):
+            make_code("lrc", 5)
+        with pytest.raises(ValueError):
+            make_code("xorbas", 5)
+
+
+class TestDocsSync:
+    def test_family_table_matches_registry(self):
+        """docs/codes.md documents every registered family (backticked in
+        a ``##`` section heading) and documents nothing unregistered."""
+        from pathlib import Path
+        import re
+
+        docs = Path(__file__).resolve().parents[2] / "docs" / "codes.md"
+        text = docs.read_text(encoding="utf-8")
+        documented = set()
+        for line in text.splitlines():
+            if line.startswith("## "):
+                documented.update(re.findall(r"`([a-z0-9_]+)`", line))
+        registered = set(list_families())
+        assert registered <= documented, sorted(registered - documented)
+        # headings may mention non-family words in backticks only if they
+        # are families; everything backticked in a heading must be one
+        assert documented <= registered, sorted(documented - registered)

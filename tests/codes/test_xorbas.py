@@ -1,0 +1,100 @@
+"""HDFS-Xorbas LRC: implied parity and optimal parity-disk repair."""
+
+import random
+
+import pytest
+
+from repro.codes import AzureLrcCode, XorbasCode, make_code
+from repro.recovery import conventional_scheme
+
+
+def _code(n_data=6):
+    return XorbasCode(n_data, l_groups=2, g_global=2, w=4)
+
+
+class TestConstruction:
+    def test_is_an_lrc(self):
+        assert isinstance(_code(), AzureLrcCode)
+
+    def test_layout_and_tolerance(self):
+        code = _code()
+        lay = code.layout
+        assert (lay.n_data, lay.m_parity, lay.k_rows) == (6, 4, 4)
+        # the implied-parity alignment costs one failure vs Azure-LRC's g+1
+        assert code.fault_tolerance == 2
+
+    def test_fault_tolerance_exhaustive(self):
+        assert _code().verify_fault_tolerance()
+
+    def test_encode_round_trip(self):
+        code = _code()
+        rng = random.Random(11)
+        for _ in range(5):
+            vec = code.encode_vector(rng.getrandbits(code.layout.n_data_elements))
+            assert code.is_codeword(vec)
+
+
+class TestImpliedParity:
+    def test_implied_equations_vanish_on_codewords(self):
+        """The implied equations are sums of originals, so every codeword
+        satisfies them — Xorbas' defining alignment property."""
+        code = _code()
+        rng = random.Random(13)
+        for eq in code.implied_parity_equations():
+            for _ in range(5):
+                vec = code.encode_vector(
+                    rng.getrandbits(code.layout.n_data_elements)
+                )
+                assert bin(vec & eq).count("1") % 2 == 0
+
+    def test_implied_equations_touch_only_parity_disks(self):
+        code = _code()
+        lay = code.layout
+        parity_eids = set(code.parity_eids()) | {
+            lay.eid(d, r) for d in lay.parity_disks for r in range(lay.k_rows)
+        }
+        for eq in code.implied_parity_equations():
+            bits = {i for i in range(lay.n_elements) if (eq >> i) & 1}
+            assert bits <= parity_eids
+            # exactly one element per parity disk per row
+            assert len(bits) == lay.m_parity
+
+    def test_parity_group_in_locality_groups(self):
+        code = _code()
+        assert list(code.layout.parity_disks) in code.locality_groups()
+
+
+class TestParityRepair:
+    def test_parity_disk_repairs_from_other_parities(self):
+        """A failed parity disk reads only the l + g - 1 other parities —
+        cheaper than recomputing from the k data disks."""
+        code = _code()
+        lay = code.layout
+        budget = (lay.m_parity - 1) * lay.k_rows
+        for disk in lay.parity_disks:
+            scheme = conventional_scheme(code, disk)
+            scheme.validate(code)
+            loads = scheme.loads
+            read_disks = {d for d in range(lay.n_disks) if loads[d] > 0}
+            assert read_disks <= set(lay.parity_disks) - {disk}
+            assert scheme.total_reads == budget
+            assert scheme.metadata.get("source") == "locality"
+
+    def test_data_disk_still_repairs_locally(self):
+        code = _code()
+        for disk in range(code.layout.n_data):
+            scheme = conventional_scheme(code, disk)
+            scheme.validate(code)
+            assert scheme.metadata.get("source") == "locality"
+
+
+class TestRegistryIntegration:
+    def test_registry_sizes(self):
+        for n in (6, 10, 16):
+            code = make_code("xorbas", n)
+            assert isinstance(code, XorbasCode)
+            assert code.layout.n_disks == n
+
+    def test_too_few_disks(self):
+        with pytest.raises(ValueError):
+            make_code("xorbas", 5)

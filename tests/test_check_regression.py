@@ -1,0 +1,95 @@
+"""The bench-regression gate: passes on identical data, fails on drift."""
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO / "benchmarks" / "check_regression.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_regression", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+checker = _load_checker()
+
+
+@pytest.fixture
+def search_payload():
+    return json.loads((REPO / "BENCH_search.json").read_text())
+
+
+@pytest.fixture
+def codes_payload():
+    return json.loads((REPO / "BENCH_codes.json").read_text())
+
+
+def _run(tmp_path, kind, fresh, baseline):
+    fresh_p = tmp_path / "fresh.json"
+    base_p = tmp_path / "baseline.json"
+    fresh_p.write_text(json.dumps(fresh))
+    base_p.write_text(json.dumps(baseline))
+    return checker.main(
+        ["--kind", kind, "--fresh", str(fresh_p), "--baseline", str(base_p)]
+    )
+
+
+class TestSearchGate:
+    def test_identical_payload_passes(self, tmp_path, search_payload):
+        assert _run(tmp_path, "search", search_payload, search_payload) == 0
+
+    def test_perturbed_metric_fails(self, tmp_path, search_payload, capsys):
+        fresh = copy.deepcopy(search_payload)
+        point = fresh["current"]["points"][0]
+        point["expanded"] += 1
+        assert _run(tmp_path, "search", fresh, search_payload) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_disjoint_grids_fail(self, tmp_path, search_payload, capsys):
+        """Zero overlap must fail loudly, not pass vacuously."""
+        fresh = copy.deepcopy(search_payload)
+        for point in fresh["current"]["points"]:
+            point["n_disks"] += 100
+        assert _run(tmp_path, "search", fresh, search_payload) == 1
+
+
+class TestCodesGate:
+    def test_identical_payload_passes(self, tmp_path, codes_payload):
+        assert _run(tmp_path, "codes", codes_payload, codes_payload) == 0
+
+    def test_perturbed_max_load_fails(self, tmp_path, codes_payload, capsys):
+        fresh = copy.deepcopy(codes_payload)
+        point = fresh["points"][0]
+        alg = next(iter(point["per_algorithm"]))
+        point["per_algorithm"][alg]["max_load"] += 0.5
+        assert _run(tmp_path, "codes", fresh, codes_payload) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_config_mismatch_fails(self, tmp_path, codes_payload):
+        """A fresh run with a different search budget is not comparable."""
+        fresh = copy.deepcopy(codes_payload)
+        fresh["config"]["max_expansions"] *= 2
+        assert _run(tmp_path, "codes", fresh, codes_payload) == 1
+
+
+class TestRebuildGate:
+    def test_identical_payload_passes(self, tmp_path):
+        payload = json.loads((REPO / "BENCH_rebuild.json").read_text())
+        assert _run(tmp_path, "rebuild", payload, payload) == 0
+
+    def test_broken_invariant_fails(self, tmp_path, capsys):
+        payload = json.loads((REPO / "BENCH_rebuild.json").read_text())
+        fresh = copy.deepcopy(payload)
+        fresh["points"][0]["byte_identical"] = False
+        assert _run(tmp_path, "rebuild", fresh, payload) == 1
+        assert "REGRESSION" in capsys.readouterr().err
